@@ -1,0 +1,523 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact; see DESIGN.md §4 for the experiment index)
+// plus ablations of the design choices DESIGN.md §5 calls out.
+//
+// The per-artifact benchmarks measure the cost of the full pipeline
+// slice that produces the artifact at test scale: they are regression
+// guards on pipeline throughput, not attempts to time the paper's
+// original 2-billion-packet corpus.
+package v6scan
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"v6scan/internal/artifacts"
+	"v6scan/internal/core"
+	"v6scan/internal/entropy"
+	"v6scan/internal/layers"
+	"v6scan/internal/mawi"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/scanner"
+	"v6scan/internal/sim"
+)
+
+// benchStart is a window that exercises both AS1 phases.
+var benchStart = time.Date(2021, 5, 20, 0, 0, 0, 0, time.UTC)
+
+func benchConfig(days int) sim.Config {
+	cfg := sim.QuickConfig(800, 10, benchStart, days)
+	return cfg
+}
+
+// sharedBenchRun caches one CDN run for the analysis benchmarks.
+var sharedBenchRun *sim.Result
+
+func benchRun(b *testing.B) *sim.Result {
+	b.Helper()
+	if sharedBenchRun == nil {
+		cfg := benchConfig(14)
+		cfg.Detector.TrackDsts = true
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedBenchRun = res
+	}
+	return sharedBenchRun
+}
+
+// --- per-table / per-figure benchmarks ---
+
+func BenchmarkFig1Heatmap(b *testing.B) {
+	res := benchRun(b)
+	// Rebuild the heatmap from scan records each iteration.
+	recs := make([]Record, 0, 1<<16)
+	res.Census.EmitDay(benchStart, func(r Record) { recs = append(recs, r) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hc := NewHeatmapCollector()
+		for _, r := range recs {
+			hc.Add(r)
+		}
+		hm := hc.Build()
+		if hm.Sources == 0 {
+			b.Fatal("empty heatmap")
+		}
+	}
+}
+
+func BenchmarkTable1Totals(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := BuildTable1(res.Detector, res.DB)
+		if len(t1.Rows) != 3 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+func BenchmarkParamSensitivity(b *testing.B) {
+	// One full detection pass at a relaxed threshold per iteration —
+	// the unit of work of the Section 2.2 sweep.
+	res := benchRun(b)
+	var recs []Record
+	res.Census.EmitDay(benchStart.Add(24*time.Hour), func(r Record) { recs = append(recs, r) })
+	// EmitDay is per-actor chronological, not globally ordered.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultDetectorConfig()
+		cfg.MinDsts = 50
+		det := NewDetector(cfg)
+		for _, r := range recs {
+			if err := det.Process(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		det.Finish()
+	}
+}
+
+func BenchmarkFig2WeeklySources(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := BuildWeeklySources(res.Detector)
+		if len(w.Weeks) == 0 {
+			b.Fatal("no weeks")
+		}
+	}
+}
+
+func BenchmarkFig3Concentration(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := BuildConcentration(res.Detector, Agg64)
+		if c.OverallTop2Share == 0 {
+			b.Fatal("no concentration")
+		}
+	}
+}
+
+func BenchmarkTable2TopASes(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t2 := BuildTable2(res.Detector, res.DB, 20)
+		if len(t2.Rows) == 0 {
+			b.Fatal("empty table 2")
+		}
+	}
+}
+
+func BenchmarkFig4PortsPerScan(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb := BuildPortBreakdown(res.Detector, res.DB, Agg64, scanner.ASNOfRank(18))
+		if pb.Level != Agg64 {
+			b.Fatal("bad breakdown")
+		}
+	}
+}
+
+func BenchmarkFig8PortsAggregations(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildPortBreakdown(res.Detector, res.DB, Agg128, 0)
+		BuildPortBreakdown(res.Detector, res.DB, Agg48, 0)
+	}
+}
+
+func BenchmarkTable3TopPorts(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t3 := BuildTable3(res.Detector, res.DB, scanner.ASNOfRank(18), 10)
+		if len(t3.ByPackets) == 0 {
+			b.Fatal("empty table 3")
+		}
+	}
+}
+
+func BenchmarkDNSTargeting(b *testing.B) {
+	res := benchRun(b)
+	var recs []Record
+	res.Census.EmitDay(benchStart, func(r Record) { recs = append(recs, r) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dc := NewDNSCollector(res.Telescope, 0)
+		for _, r := range recs {
+			dc.Add(r)
+		}
+		rep := dc.Build(res.Detector, nil)
+		_ = rep.AllInDNSShare
+	}
+}
+
+func BenchmarkFig5MAWISources(b *testing.B) {
+	s := mawiBenchSim(time.Date(2021, 5, 24, 0, 0, 0, 0, time.UTC))
+	day := time.Date(2021, 5, 25, 0, 0, 0, 0, time.UTC)
+	recs := s.EmitDay(day)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lvl := range []AggLevel{Agg128, Agg64, Agg48} {
+			mc := DefaultMAWIConfig()
+			mc.Level = lvl
+			det := NewMAWIDetector(mc)
+			for _, r := range recs {
+				det.Process(r)
+			}
+			if det.Finish() == nil {
+				b.Fatal("no scans")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(recs)*3), "records/op")
+}
+
+func BenchmarkFig6MAWIShare(b *testing.B) {
+	s := mawiBenchSim(time.Date(2021, 5, 24, 0, 0, 0, 0, time.UTC))
+	recs := s.EmitDay(time.Date(2021, 5, 25, 0, 0, 0, 0, time.UTC))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewMAWIDetector(DefaultMAWIConfig())
+		for _, r := range recs {
+			det.Process(r)
+		}
+		scans := det.Finish()
+		var total uint64
+		for _, sc := range scans {
+			total += sc.Packets
+		}
+		if total == 0 {
+			b.Fatal("no packets")
+		}
+	}
+}
+
+func BenchmarkFig7HammingWeight(b *testing.B) {
+	s := mawiBenchSim(mawi.Dec24Peak.Add(-24 * time.Hour))
+	det := NewMAWIDetector(DefaultMAWIConfig())
+	for _, r := range s.EmitDay(mawi.Dec24Peak) {
+		det.Process(r)
+	}
+	scans := det.Finish()
+	if len(scans) == 0 {
+		b.Fatal("no scans")
+	}
+	iids := scans[0].DstIIDs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist := entropy.HammingHistogram64(iids)
+		if !entropy.LooksGaussian(hist) {
+			b.Fatal("Dec 24 not Gaussian")
+		}
+	}
+}
+
+func BenchmarkICMPv6Scans(b *testing.B) {
+	s := mawiBenchSim(time.Date(2021, 6, 20, 0, 0, 0, 0, time.UTC))
+	day := time.Date(2021, 6, 21, 0, 0, 0, 0, time.UTC)
+	recs := s.EmitDay(day)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewMAWIDetector(DefaultMAWIConfig())
+		icmp := 0
+		for _, r := range recs {
+			if r.Proto == layers.ProtoICMPv6 {
+				icmp++
+			}
+			det.Process(r)
+		}
+		det.Finish()
+		if icmp == 0 {
+			b.Fatal("no ICMPv6 traffic")
+		}
+	}
+}
+
+func BenchmarkArtifactFilter(b *testing.B) {
+	res := benchRun(b)
+	gen := artifacts.New(artifacts.DefaultConfig(), res.Telescope, nil)
+	var recs []Record
+	gen.EmitDay(benchStart, func(r Record) { recs = append(recs, r) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewArtifactFilter()
+		for _, r := range recs {
+			f.Push(r)
+		}
+		out := f.Close()
+		if len(out) >= len(recs) {
+			b.Fatal("filter dropped nothing")
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}
+
+func BenchmarkA4CloudCaseStudy(b *testing.B) {
+	res := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := BuildTwinReport(res.Detector, scanner.Alloc(scanner.ASNOfRank(6)), res.Telescope); !ok {
+			b.Fatal("twins missing")
+		}
+	}
+}
+
+func mawiBenchSim(start time.Time) *MAWISimulator {
+	cfg := DefaultMAWISimConfig()
+	cfg.Start = start
+	cfg.End = start.Add(3 * 24 * time.Hour)
+	cfg.HitlistSize = 1000
+	return NewMAWISimulator(cfg)
+}
+
+// --- ablation benchmarks (DESIGN.md §5) ---
+
+// benchRecords synthesizes a deterministic detector workload:
+// interleaved scanners and background sources.
+func benchRecords(n int) []Record {
+	rng := rand.New(rand.NewSource(99))
+	recs := make([]Record, 0, n)
+	ts := benchStart
+	scanBase := netaddr6.MustPrefix("2001:db8:5ca0::/44")
+	dstBase := netaddr6.MustPrefix("2001:db8:f000::/44")
+	for i := 0; i < n; i++ {
+		src := netaddr6.RandomSubprefix(scanBase, 64, rng).Addr()
+		recs = append(recs, Record{
+			Time: ts, Src: netaddr6.WithIID(src, uint64(i%64)),
+			Dst:   netaddr6.RandomAddrIn(dstBase, rng),
+			Proto: layers.ProtoTCP, DstPort: uint16(1 + i%1024), Length: 60,
+		})
+		ts = ts.Add(10 * time.Millisecond)
+	}
+	return recs
+}
+
+// BenchmarkDetectorStreaming measures the single-pass streaming
+// detector with periodic timeout eviction (bounded memory, the IDS
+// deployment mode).
+func BenchmarkDetectorStreaming(b *testing.B) {
+	recs := benchRecords(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewDetector(DefaultDetectorConfig())
+		for j, r := range recs {
+			if err := det.Process(r); err != nil {
+				b.Fatal(err)
+			}
+			if j%10_000 == 0 {
+				det.Advance(r.Time)
+			}
+		}
+		det.Finish()
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}
+
+// BenchmarkDetectorBatch measures the same workload without periodic
+// eviction (all sessions held until the end — the batch-analysis mode).
+func BenchmarkDetectorBatch(b *testing.B) {
+	recs := benchRecords(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewDetector(DefaultDetectorConfig())
+		for _, r := range recs {
+			if err := det.Process(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		det.Finish()
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}
+
+// BenchmarkMultiAggregationFused runs one detector tracking all three
+// levels in a single pass.
+func BenchmarkMultiAggregationFused(b *testing.B) {
+	recs := benchRecords(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewDetector(DefaultDetectorConfig())
+		for _, r := range recs {
+			det.Process(r)
+		}
+		det.Finish()
+	}
+}
+
+// BenchmarkMultiAggregationSeparate runs three single-level detectors
+// over the stream — the naive alternative.
+func BenchmarkMultiAggregationSeparate(b *testing.B) {
+	recs := benchRecords(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lvl := range []AggLevel{Agg128, Agg64, Agg48} {
+			cfg := DefaultDetectorConfig()
+			cfg.Levels = []AggLevel{lvl}
+			det := NewDetector(cfg)
+			for _, r := range recs {
+				det.Process(r)
+			}
+			det.Finish()
+		}
+	}
+}
+
+// BenchmarkDstSetMap measures exact per-source destination sets.
+func BenchmarkDstSetMap(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]netaddr6.U128, 10_000)
+	for i := range addrs {
+		addrs[i] = netaddr6.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := make(map[netaddr6.U128]struct{}, 16)
+		for _, a := range addrs {
+			set[a] = struct{}{}
+		}
+		if len(set) < 9_000 {
+			b.Fatal("bad set")
+		}
+	}
+	b.ReportMetric(float64(len(addrs)), "addrs/op")
+}
+
+// BenchmarkDstSetSketch measures the HyperLogLog alternative
+// (constant 4 KiB per source at precision 12).
+func BenchmarkDstSetSketch(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]netaddr6.U128, 10_000)
+	for i := range addrs {
+		addrs[i] = netaddr6.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk := core.NewDstSketch(12)
+		for _, a := range addrs {
+			sk.Add(a.ToAddr())
+		}
+		if e := sk.Estimate(); e < 9_000 || e > 11_000 {
+			b.Fatalf("estimate %d", e)
+		}
+	}
+	b.ReportMetric(float64(len(addrs)), "addrs/op")
+}
+
+// BenchmarkDecodeLayers measures zero-copy reused-struct decoding.
+func BenchmarkDecodeLayers(b *testing.B) {
+	frame, err := layers.BuildTCPSYN(
+		netaddr6.MustAddr("2001:db8::1"), netaddr6.MustAddr("2001:db8::2"),
+		40000, 22, layers.BuildOptions{Link: layers.LinkTypeEthernet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var d layers.Decoded
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := layers.ParseFrame(frame, layers.LinkTypeEthernet, &d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+}
+
+// BenchmarkDecodePacket measures the naive alternative: allocating a
+// fresh Decoded and copying the frame per packet.
+func BenchmarkDecodePacket(b *testing.B) {
+	frame, err := layers.BuildTCPSYN(
+		netaddr6.MustAddr("2001:db8::1"), netaddr6.MustAddr("2001:db8::2"),
+		40000, 22, layers.BuildOptions{Link: layers.LinkTypeEthernet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := make([]byte, len(frame))
+		copy(buf, frame)
+		d := new(layers.Decoded)
+		if err := layers.ParseFrame(buf, layers.LinkTypeEthernet, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+}
+
+// BenchmarkEndToEndDay measures one full simulated CDN day through
+// policy, filter, and detection — the pipeline's unit of progress.
+func BenchmarkEndToEndDay(b *testing.B) {
+	res := benchRun(b)
+	policy := DefaultCollectPolicy()
+	var recs []Record
+	res.Census.EmitDay(benchStart.Add(48*time.Hour), func(r Record) { recs = append(recs, r) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := NewDetector(DefaultDetectorConfig())
+		f := NewArtifactFilter()
+		feed := func(rs []Record) {
+			for _, r := range rs {
+				det.Process(r)
+			}
+		}
+		for _, r := range recs {
+			if !policy.Admit(r) {
+				continue
+			}
+			feed(f.Push(r))
+		}
+		feed(f.Close())
+		det.Finish()
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}
+
+// BenchmarkIDSEngine measures the dynamic-aggregation IDS on the
+// synthetic workload — the inline-deployment counterpart of
+// BenchmarkDetectorStreaming, with sketched destination sets at four
+// aggregation levels.
+func BenchmarkIDSEngine(b *testing.B) {
+	recs := benchRecords(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewIDS(DefaultIDSConfig())
+		for j, r := range recs {
+			e.Process(r)
+			if j%10_000 == 0 {
+				e.Tick(r.Time)
+			}
+		}
+		if alerts := e.Flush(); len(alerts) == 0 {
+			b.Fatal("no alerts")
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}

@@ -1,0 +1,72 @@
+// telescope-sim generates a synthetic CDN firewall log: a telescope,
+// the paper's scan-actor census, and artifact traffic, written as the
+// binary record format consumed by cmd/v6scan.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"v6scan"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "telescope.log", "output log file")
+		machines = flag.Int("machines", 2000, "CDN machines")
+		ases     = flag.Int("ases", 25, "deployment ASes")
+		weeks    = flag.Int("weeks", 4, "weeks to simulate")
+		start    = flag.String("start", "2021-02-01", "window start (YYYY-MM-DD)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		raw      = flag.Bool("raw", false, "write the raw pre-filter stream instead of the filtered one")
+	)
+	flag.Parse()
+
+	from, err := time.Parse("2006-01-02", *start)
+	if err != nil {
+		log.Fatalf("bad -start: %v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w := v6scan.WriteLog(bw)
+
+	cfg := v6scan.DefaultExperimentConfig()
+	cfg.Telescope.Machines = *machines
+	cfg.Telescope.ASes = *ases
+	cfg.Telescope.Seed = *seed
+	cfg.Census.Start = from
+	cfg.Census.End = from.Add(time.Duration(*weeks) * 7 * 24 * time.Hour)
+	cfg.Census.Seed = *seed + 1
+	cfg.Detector.WeekEpoch = from
+	write := func(r v6scan.Record) {
+		if err := w.Write(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *raw {
+		cfg.RawTap = write
+	} else {
+		cfg.FilteredTap = write
+	}
+
+	res, err := v6scan.RunCDNExperiment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s (generated %d, logged %d, filtered to %d)\n",
+		w.Count(), *out, res.RecordsGenerated, res.RecordsLogged, res.RecordsDetected)
+}

@@ -1,0 +1,69 @@
+// Quickstart: feed a synthetic stream of unsolicited packets into the
+// scan detector and print the detected scans at each aggregation
+// level. This is the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"v6scan"
+	"v6scan/internal/layers"
+)
+
+func main() {
+	det := v6scan.NewDetector(v6scan.DefaultDetectorConfig())
+
+	// A scanner at 2001:db8:bad::1 probing 500 addresses on TCP/22,
+	// one packet per second.
+	src := netip.MustParseAddr("2001:db8:bad::1")
+	base := netip.MustParseAddr("2001:db8:cafe::")
+	ts := time.Date(2021, 6, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 500; i++ {
+		dst := addrPlus(base, uint64(i+1))
+		rec := v6scan.Record{
+			Time: ts, Src: src, Dst: dst,
+			Proto: layers.ProtoTCP, SrcPort: 40000, DstPort: 22, Length: 60,
+		}
+		if err := det.Process(rec); err != nil {
+			log.Fatal(err)
+		}
+		ts = ts.Add(time.Second)
+	}
+	// An ordinary client talking to a single server: never a scan.
+	client := netip.MustParseAddr("2001:db8:c11e:17::1")
+	server := addrPlus(base, 1)
+	for i := 0; i < 200; i++ {
+		det.Process(v6scan.Record{
+			Time: ts, Src: client, Dst: server,
+			Proto: layers.ProtoTCP, SrcPort: 52000, DstPort: 8080, Length: uint16(60 + i%700),
+		})
+		ts = ts.Add(100 * time.Millisecond)
+	}
+	det.Finish()
+
+	for _, lvl := range []v6scan.AggLevel{v6scan.Agg128, v6scan.Agg64, v6scan.Agg48} {
+		fmt.Printf("— detected scans at %s —\n", lvl)
+		for _, s := range det.Scans(lvl) {
+			fmt.Printf("  %-28s %5d packets  %4d dsts  %2d ports  %v class=%v\n",
+				s.Source, s.Packets, s.Dsts, s.NumPorts(), s.Duration(), s.Class())
+		}
+	}
+}
+
+// addrPlus returns base + n (IID arithmetic).
+func addrPlus(base netip.Addr, n uint64) netip.Addr {
+	b := base.As16()
+	var iid uint64
+	for i := 8; i < 16; i++ {
+		iid = iid<<8 | uint64(b[i])
+	}
+	iid += n
+	for i := 15; i >= 8; i-- {
+		b[i] = byte(iid)
+		iid >>= 8
+	}
+	return netip.AddrFrom16(b)
+}

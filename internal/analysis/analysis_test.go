@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/scanner"
+	"v6scan/internal/sim"
+)
+
+// shared four-week run with all taps enabled.
+var (
+	shared     *sim.Result
+	sharedHeat *HeatmapCollector
+	sharedDNS  *DNSCollector
+)
+
+func sharedRun(t *testing.T) (*sim.Result, *HeatmapCollector, *DNSCollector) {
+	t.Helper()
+	if shared != nil {
+		return shared, sharedHeat, sharedDNS
+	}
+	cfg := sim.QuickConfig(1000, 12, time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC), 28)
+	cfg.Detector.TrackDsts = true
+	heat := NewHeatmapCollector()
+	cfg.RawTap = heat.Add
+	// The DNS collector needs the telescope, which exists only after
+	// Run starts; buffer records and replay.
+	var filtered []firewall.Record
+	cfg.FilteredTap = func(r firewall.Record) { filtered = append(filtered, r) }
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dns := NewDNSCollector(res.Telescope, 0)
+	for _, r := range filtered {
+		dns.Add(r)
+	}
+	shared, sharedHeat, sharedDNS = res, heat, dns
+	return shared, sharedHeat, sharedDNS
+}
+
+func TestTable1(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	t1 := BuildTable1(res.Detector, res.DB)
+	if len(t1.Rows) != 3 {
+		t.Fatalf("rows = %d", len(t1.Rows))
+	}
+	var r128, r64, r48 Table1Row
+	for _, r := range t1.Rows {
+		switch r.Level {
+		case netaddr6.Agg128:
+			r128 = r
+		case netaddr6.Agg64:
+			r64 = r
+		case netaddr6.Agg48:
+			r48 = r
+		}
+	}
+	if r128.Scans <= r64.Scans {
+		t.Errorf("/128 scans %d vs /64 %d", r128.Scans, r64.Scans)
+	}
+	if r48.ASes < r64.ASes {
+		t.Errorf("AS counts: /48 %d < /64 %d (Table 1 shows growth)", r48.ASes, r64.ASes)
+	}
+	out := t1.Render()
+	if !strings.Contains(out, "/128") || !strings.Contains(out, "sources") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	t2 := BuildTable2(res.Detector, res.DB, 20)
+	if len(t2.Rows) == 0 {
+		t.Fatal("empty table 2")
+	}
+	// Ranks ordered by packets.
+	for i := 1; i < len(t2.Rows); i++ {
+		if t2.Rows[i].Packets > t2.Rows[i-1].Packets {
+			t.Fatal("table 2 not sorted")
+		}
+	}
+	// The top two must be the Chinese datacenter actors.
+	if t2.Rows[0].ASN != scanner.ASNOfRank(1) && t2.Rows[0].ASN != scanner.ASNOfRank(2) {
+		t.Errorf("top AS = %d", t2.Rows[0].ASN)
+	}
+	if t2.Rows[0].Label != "Datacenter (CN)" {
+		t.Errorf("top label = %q", t2.Rows[0].Label)
+	}
+	if sh := t2.TopShare(5); sh < 0.75 {
+		t.Errorf("top-5 share = %.2f, want high concentration", sh)
+	}
+	// AS18 must lead by /64 source count.
+	var as18 Table2Row
+	maxOther := 0
+	for _, r := range t2.Rows {
+		if r.ASN == scanner.ASNOfRank(18) {
+			as18 = r
+		} else if r.Srcs64 > maxOther {
+			maxOther = r.Srcs64
+		}
+	}
+	if as18.Srcs64 <= maxOther {
+		t.Errorf("AS18 /64 sources = %d, max other = %d", as18.Srcs64, maxOther)
+	}
+	if as18.Srcs48 < as18.Srcs64 {
+		t.Errorf("AS18 /48 sources (%d) should be >= /64 sources (%d)", as18.Srcs48, as18.Srcs64)
+	}
+	if !strings.Contains(t2.Render(), "Cloud/Transit (DE)") {
+		t.Error("render missing AS18 label")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	t3 := BuildTable3(res.Detector, res.DB, scanner.ASNOfRank(18), 10)
+	if len(t3.ByPackets) == 0 || len(t3.ByScans) == 0 || len(t3.BySources) == 0 {
+		t.Fatal("empty rankings")
+	}
+	// No clear-cut dominant port: the top packet share stays modest
+	// (paper: 3.5%); allow generous slack but reject >50%.
+	if t3.ByPackets[0].Share > 0.5 {
+		t.Errorf("top port packet share = %.2f — should be diffuse", t3.ByPackets[0].Share)
+	}
+	// TCP/22 must appear somewhere in the top-10 by scans (it is in
+	// most actors' lists).
+	found := false
+	for _, s := range t3.ByScans {
+		if s.Service.String() == "TCP/22" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("TCP/22 missing from top scans ranking")
+	}
+	if !strings.Contains(t3.Render(), "by packets") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable3ExcludesAS18(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	with := BuildTable3(res.Detector, res.DB, 0, 5)
+	without := BuildTable3(res.Detector, res.DB, scanner.ASNOfRank(18), 5)
+	// AS18 probes only TCP/22 from hundreds of sources, so excluding it
+	// must reduce TCP/22's source share.
+	share := func(t3 Table3) float64 {
+		for _, s := range t3.BySources {
+			if s.Service.String() == "TCP/22" {
+				return s.Share
+			}
+		}
+		return 0
+	}
+	if share(without) >= share(with) {
+		t.Errorf("TCP/22 source share with=%.2f without=%.2f", share(with), share(without))
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	_, heat, _ := sharedRun(t)
+	hm := heat.Build()
+	if hm.Sources == 0 {
+		t.Fatal("no sources in heatmap")
+	}
+	// Figure 1 shape: most source /64s target very few destinations;
+	// only a few target many.
+	if hm.NearOriginShare() < 0.3 {
+		t.Errorf("near-origin share = %.2f", hm.NearOriginShare())
+	}
+	if hm.HighDstSources(2) == 0 {
+		t.Error("no high-destination sources (scanners missing from raw view)")
+	}
+	if hm.HighDstSources(2) >= hm.Sources/2 {
+		t.Error("too many high-destination sources")
+	}
+	if !strings.Contains(hm.Render(), "10^0") {
+		t.Error("render broken")
+	}
+}
+
+func TestWeeklySources(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	w := BuildWeeklySources(res.Detector)
+	if w.MaxWeek < 3 {
+		t.Fatalf("weeks = %d", w.MaxWeek)
+	}
+	for wk := 0; wk <= w.MaxWeek; wk++ {
+		n128 := w.Weeks[netaddr6.Agg128][wk]
+		n64 := w.Weeks[netaddr6.Agg64][wk]
+		if n64 == 0 {
+			t.Errorf("week %d: no /64 sources", wk)
+		}
+		if n128 < n64/2 {
+			t.Errorf("week %d: /128 %d ≪ /64 %d", wk, n128, n64)
+		}
+	}
+	if !strings.Contains(w.Render(), "/128") {
+		t.Error("render broken")
+	}
+}
+
+func TestConcentration(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	c := BuildConcentration(res.Detector, netaddr6.Agg64)
+	if len(c.Weeks) < 4 {
+		t.Fatalf("weeks = %d", len(c.Weeks))
+	}
+	// Weekly top-2 dominance (paper: 92% average).
+	for _, w := range c.Weeks {
+		if w.Top2Share() < 0.4 {
+			t.Errorf("week %d top-2 share %.2f", w.Week, w.Top2Share())
+		}
+	}
+	if c.OverallTop2Share < 0.55 {
+		t.Errorf("overall top-2 share %.2f", c.OverallTop2Share)
+	}
+	if !strings.Contains(c.Render(), "overall top-2") {
+		t.Error("render broken")
+	}
+}
+
+func TestPortBreakdown(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	pb := BuildPortBreakdown(res.Detector, res.DB, netaddr6.Agg64, scanner.ASNOfRank(18))
+	var sum float64
+	for _, s := range pb.Scans {
+		sum += s
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("scan shares sum to %.2f", sum)
+	}
+	// Packets dominated by >100-port scans.
+	if pb.Packets[core.PortsOver100] < 0.5 {
+		t.Errorf(">100-port packet share = %.2f", pb.Packets[core.PortsOver100])
+	}
+	if !strings.Contains(pb.Render(), ">100 ports") {
+		t.Error("render broken")
+	}
+}
+
+func TestDNSReport(t *testing.T) {
+	res, _, dns := sharedRun(t)
+	rep := dns.Build(res.Detector, nil)
+	if len(rep.PerSource) == 0 {
+		t.Fatal("no sources in DNS report")
+	}
+	// Most non-AS18 actors use pure-DNS pools, but AS18's pair sweeps
+	// put half their targets outside DNS; overall the all-in-DNS share
+	// is well below 1 and above 0.
+	if rep.AllInDNSShare <= 0 || rep.AllInDNSShare >= 1 {
+		t.Errorf("all-in-DNS share = %.2f", rep.AllInDNSShare)
+	}
+	if rep.HeavyNotInDNSShare == 0 {
+		t.Error("no heavily not-in-DNS sources (AS18 missing)")
+	}
+	// AS18 sources sweep exposed-then-hidden pairs: their not-in-DNS
+	// targets must have nearby in-DNS precursors at /123-ish closeness
+	// far more often than chance.
+	if len(rep.Precursors) == 0 {
+		t.Fatal("no precursor stats")
+	}
+	high := 0
+	for _, p := range rep.Precursors {
+		if p.Plen == 112 && p.Share > 0.7 {
+			high++
+		}
+	}
+	if high == 0 {
+		t.Error("no source shows strong nearby-precursor behaviour at /112")
+	}
+	if !strings.Contains(rep.Render(), "not in DNS") {
+		t.Error("render broken")
+	}
+}
+
+func TestDurationStats(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	d128 := BuildDurationStats(res.Detector, netaddr6.Agg128)
+	d64 := BuildDurationStats(res.Detector, netaddr6.Agg64)
+	if d128.N == 0 || d64.N == 0 {
+		t.Fatal("no scans")
+	}
+	// Section 3.1: /64 aggregation lengthens the median scan.
+	if d64.Median <= d128.Median {
+		t.Errorf("median /64 %v <= /128 %v", d64.Median, d128.Median)
+	}
+	// AS1's continuous pre-switch session runs for weeks.
+	if d64.Max < 7*24*time.Hour {
+		t.Errorf("max /64 duration %v, want multi-week", d64.Max)
+	}
+	if !strings.Contains(d64.Render(), "median") {
+		t.Error("render broken")
+	}
+}
+
+func TestTwinReport(t *testing.T) {
+	res, _, _ := sharedRun(t)
+	rep, ok := BuildTwinReport(res.Detector, scanner.Alloc(scanner.ASNOfRank(6)), res.Telescope)
+	if !ok {
+		t.Fatal("twin report unavailable")
+	}
+	// Appendix A.4: similar in/not-in-DNS splits and high Jaccard.
+	if rep.Jaccard < 0.5 {
+		t.Errorf("twin Jaccard = %.2f", rep.Jaccard)
+	}
+	if rep.NotA == 0 || rep.NotB == 0 {
+		t.Errorf("twins lack not-in-DNS targets: %+v", rep)
+	}
+	if !strings.Contains(rep.Render(), "Jaccard") {
+		t.Error("render broken")
+	}
+}
+
+func TestLogBucket(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 0, 9: 0, 10: 1, 99: 1, 100: 2, 1000000: 6}
+	for v, want := range cases {
+		if got := logBucket(v); got != want {
+			t.Errorf("logBucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

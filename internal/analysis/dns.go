@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/telescope"
+)
+
+// DNSReport reproduces the "Targeted addresses" analysis of Section
+// 3.3: for every /64 scan source, the split of its targets into
+// DNS-exposed and non-exposed telescope addresses, plus the
+// nearby-precursor analysis for heavily not-in-DNS sources.
+type DNSReport struct {
+	// PerSource lists each /64 scan source's provenance split.
+	PerSource []SourceDNS
+	// AllInDNSShare is the fraction of sources whose every target is
+	// in DNS (paper: 75%).
+	AllInDNSShare float64
+	// HeavyNotInDNSShare is the fraction of sources with ≥ 1/3 targets
+	// not in DNS (paper: ≥10%).
+	HeavyNotInDNSShare float64
+	// Precursors summarizes the nearby-in-DNS precursor condition per
+	// heavily not-in-DNS source and nearby prefix length.
+	Precursors []PrecursorStat
+}
+
+// SourceDNS is one source's target provenance.
+type SourceDNS struct {
+	Source   netip.Prefix
+	InDNS    int
+	NotInDNS int
+	Dsts     int
+}
+
+// NotShare returns the source's not-in-DNS target share.
+func (s SourceDNS) NotShare() float64 { return safeShareInt(s.NotInDNS, s.Dsts) }
+
+// PrecursorStat reports, for one source and one "nearby" prefix
+// length, the fraction of its not-in-DNS targets preceded by an
+// in-DNS probe in the same /plen.
+type PrecursorStat struct {
+	Source netip.Prefix
+	Plen   int
+	Share  float64
+}
+
+// DNSCollector gathers per-/64-source target sequences from the
+// filtered record stream (sim.Config.FilteredTap), preserving arrival
+// order for the precursor analysis.
+type DNSCollector struct {
+	tele   *telescope.Telescope
+	seqs   map[netip.Prefix]*targetSeq
+	maxSeq int
+}
+
+type targetSeq struct {
+	order []netip.Addr
+	seen  map[netip.Addr]struct{}
+}
+
+// NewDNSCollector returns a collector. maxPerSource bounds memory per
+// source (0 means unbounded).
+func NewDNSCollector(tele *telescope.Telescope, maxPerSource int) *DNSCollector {
+	return &DNSCollector{tele: tele, seqs: make(map[netip.Prefix]*targetSeq), maxSeq: maxPerSource}
+}
+
+// Add ingests one filtered record.
+func (c *DNSCollector) Add(r firewall.Record) {
+	key := netaddr6.Aggregate(r.Src, netaddr6.Agg64)
+	s := c.seqs[key]
+	if s == nil {
+		s = &targetSeq{seen: make(map[netip.Addr]struct{})}
+		c.seqs[key] = s
+	}
+	if _, dup := s.seen[r.Dst]; dup {
+		return
+	}
+	if c.maxSeq > 0 && len(s.order) >= c.maxSeq {
+		return
+	}
+	s.seen[r.Dst] = struct{}{}
+	s.order = append(s.order, r.Dst)
+}
+
+// Build computes the report, restricted to /64 prefixes that are scan
+// sources per the detector. nearbyPlens defaults to the paper's
+// {124, 120, 116, 112}. Sources inside any exclude prefix are left out
+// of the share statistics, mirroring the paper's separate treatment of
+// AS #18 (which holds 80% of /64 sources); they still contribute to
+// the precursor analysis.
+func (c *DNSCollector) Build(det *core.Detector, nearbyPlens []int, exclude ...netip.Prefix) DNSReport {
+	if len(nearbyPlens) == 0 {
+		nearbyPlens = []int{124, 120, 116, 112}
+	}
+	excluded := func(p netip.Prefix) bool {
+		for _, e := range exclude {
+			if e.Contains(p.Addr()) {
+				return true
+			}
+		}
+		return false
+	}
+	scanSrcs := make(map[netip.Prefix]struct{})
+	for _, s := range det.Scans(netaddr6.Agg64) {
+		scanSrcs[s.Source] = struct{}{}
+	}
+	var rep DNSReport
+	allIn, heavy := 0, 0
+	for src := range scanSrcs {
+		seq := c.seqs[src]
+		if seq == nil || len(seq.order) == 0 {
+			continue
+		}
+		sd := SourceDNS{Source: src, Dsts: len(seq.order)}
+		for _, dst := range seq.order {
+			if c.tele.InDNS(dst) {
+				sd.InDNS++
+			} else {
+				sd.NotInDNS++
+			}
+		}
+		skip := excluded(src)
+		if !skip {
+			rep.PerSource = append(rep.PerSource, sd)
+			if sd.NotInDNS == 0 {
+				allIn++
+			}
+			if sd.NotShare() >= 1.0/3.0 {
+				heavy++
+			}
+		}
+		// Precursor analysis for sources ≥50% not-in-DNS.
+		if sd.NotShare() >= 0.5 {
+			for _, plen := range nearbyPlens {
+				rep.Precursors = append(rep.Precursors, PrecursorStat{
+					Source: src, Plen: plen, Share: precursorShare(c.tele, seq.order, plen),
+				})
+			}
+		}
+	}
+	sort.Slice(rep.PerSource, func(i, j int) bool {
+		return rep.PerSource[i].Source.Addr().Compare(rep.PerSource[j].Source.Addr()) < 0
+	})
+	sort.Slice(rep.Precursors, func(i, j int) bool {
+		if c := rep.Precursors[i].Source.Addr().Compare(rep.Precursors[j].Source.Addr()); c != 0 {
+			return c < 0
+		}
+		return rep.Precursors[i].Plen > rep.Precursors[j].Plen
+	})
+	rep.AllInDNSShare = safeShareInt(allIn, len(rep.PerSource))
+	rep.HeavyNotInDNSShare = safeShareInt(heavy, len(rep.PerSource))
+	return rep
+}
+
+// precursorShare computes, over the ordered target sequence, the
+// fraction of not-in-DNS targets for which an in-DNS target in the
+// same /plen appeared earlier.
+func precursorShare(tele *telescope.Telescope, order []netip.Addr, plen int) float64 {
+	type key struct {
+		hi, lo uint64
+	}
+	seenDNS := make(map[key]struct{})
+	notTotal, notWithPre := 0, 0
+	for _, dst := range order {
+		u := netaddr6.ToU128(dst).Mask(plen)
+		k := key{u.Hi, u.Lo}
+		if tele.InDNS(dst) {
+			seenDNS[k] = struct{}{}
+			continue
+		}
+		notTotal++
+		if _, ok := seenDNS[k]; ok {
+			notWithPre++
+		}
+	}
+	return safeShareInt(notWithPre, notTotal)
+}
+
+// Render summarizes the report.
+func (r DNSReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan /64 sources analyzed: %d\n", len(r.PerSource))
+	fmt.Fprintf(&b, "all targets in DNS:        %.1f%% of sources\n", 100*r.AllInDNSShare)
+	fmt.Fprintf(&b, ">=33%% targets not in DNS:  %.1f%% of sources\n", 100*r.HeavyNotInDNSShare)
+	if len(r.Precursors) > 0 {
+		fmt.Fprintf(&b, "nearby in-DNS precursor shares (sources >=50%% not-in-DNS):\n")
+		type agg struct {
+			n    int
+			sum  float64
+			high int // sources with share >= 97%
+			min  float64
+			max  float64
+		}
+		perPlen := map[int]*agg{}
+		for _, p := range r.Precursors {
+			a := perPlen[p.Plen]
+			if a == nil {
+				a = &agg{min: 2}
+				perPlen[p.Plen] = a
+			}
+			a.n++
+			a.sum += p.Share
+			if p.Share >= 0.97 {
+				a.high++
+			}
+			if p.Share < a.min {
+				a.min = p.Share
+			}
+			if p.Share > a.max {
+				a.max = p.Share
+			}
+		}
+		plens := make([]int, 0, len(perPlen))
+		for plen := range perPlen {
+			plens = append(plens, plen)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(plens)))
+		for _, plen := range plens {
+			a := perPlen[plen]
+			fmt.Fprintf(&b, "  /%-4d %3d sources  mean %3.0f%%  min %3.0f%%  max %3.0f%%  >=97%%: %d\n",
+				plen, a.n, 100*a.sum/float64(a.n), 100*a.min, 100*a.max, a.high)
+		}
+	}
+	return b.String()
+}
+
+// DurationStats summarizes scan durations at one level (Section 3.1).
+type DurationStats struct {
+	Level  netaddr6.AggLevel
+	N      int
+	Median time.Duration
+	Max    time.Duration
+}
+
+// BuildDurationStats computes duration statistics.
+func BuildDurationStats(det *core.Detector, level netaddr6.AggLevel) DurationStats {
+	scans := det.Scans(level)
+	ds := make([]time.Duration, 0, len(scans))
+	out := DurationStats{Level: level, N: len(scans)}
+	for _, s := range scans {
+		d := s.Duration()
+		ds = append(ds, d)
+		if d > out.Max {
+			out.Max = d
+		}
+	}
+	if len(ds) == 0 {
+		return out
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	out.Median = ds[len(ds)/2]
+	return out
+}
+
+// Render formats the stats.
+func (d DurationStats) Render() string {
+	return fmt.Sprintf("%s: %d scans, median duration %v, max %v\n", d.Level, d.N, d.Median, d.Max)
+}
+
+// TwinReport reproduces Appendix A.4: similarity evidence between the
+// two most active /64 sources of one AS.
+type TwinReport struct {
+	A, B           netip.Prefix
+	InDNSA, InDNSB int
+	NotA, NotB     int
+	Jaccard        float64
+}
+
+// BuildTwinReport compares the two highest-packet /64 scan sources
+// inside the given allocation, using tracked destination sets
+// (requires core.Config.TrackDsts).
+func BuildTwinReport(det *core.Detector, alloc netip.Prefix, tele *telescope.Telescope) (TwinReport, bool) {
+	bySrc := make(map[netip.Prefix]map[netip.Addr]struct{})
+	pkts := make(map[netip.Prefix]uint64)
+	for _, s := range det.Scans(netaddr6.Agg64) {
+		if !alloc.Contains(s.Source.Addr()) {
+			continue
+		}
+		set := bySrc[s.Source]
+		if set == nil {
+			set = make(map[netip.Addr]struct{})
+			bySrc[s.Source] = set
+		}
+		for _, d := range s.DstAddrs {
+			set[d] = struct{}{}
+		}
+		pkts[s.Source] += s.Packets
+	}
+	if len(bySrc) < 2 {
+		return TwinReport{}, false
+	}
+	srcs := make([]netip.Prefix, 0, len(bySrc))
+	for p := range bySrc {
+		srcs = append(srcs, p)
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		if pkts[srcs[i]] != pkts[srcs[j]] {
+			return pkts[srcs[i]] > pkts[srcs[j]]
+		}
+		return srcs[i].Addr().Compare(srcs[j].Addr()) < 0
+	})
+	a, b := srcs[0], srcs[1]
+	rep := TwinReport{A: a, B: b}
+	inter := 0
+	for d := range bySrc[a] {
+		if tele.InDNS(d) {
+			rep.InDNSA++
+		} else {
+			rep.NotA++
+		}
+		if _, ok := bySrc[b][d]; ok {
+			inter++
+		}
+	}
+	for d := range bySrc[b] {
+		if tele.InDNS(d) {
+			rep.InDNSB++
+		} else {
+			rep.NotB++
+		}
+	}
+	union := len(bySrc[a]) + len(bySrc[b]) - inter
+	rep.Jaccard = safeShareInt(inter, union)
+	return rep, true
+}
+
+// Render formats the twin comparison.
+func (t TwinReport) Render() string {
+	return fmt.Sprintf("twin A %v: in-DNS %d, not %d\ntwin B %v: in-DNS %d, not %d\ntarget Jaccard: %.2f\n",
+		t.A, t.InDNSA, t.NotA, t.B, t.InDNSB, t.NotB, t.Jaccard)
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"v6scan/internal/firewall"
+	"v6scan/internal/layers"
+	"v6scan/internal/netaddr6"
+)
+
+// feedMAWIScan pushes one packet to each of n distinct dsts on the
+// given port with constant length.
+func feedMAWIScan(d *MAWIDetector, src string, n int, port uint16, length uint16) {
+	ts := base
+	for i := 0; i < n; i++ {
+		dst := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:bbbb::"), uint64(i+1))
+		d.Process(firewall.Record{
+			Time: ts, Src: netaddr6.MustAddr(src), Dst: dst,
+			Proto: layers.ProtoTCP, DstPort: port, Length: length,
+		})
+		ts = ts.Add(time.Millisecond)
+	}
+}
+
+func TestMAWIDetectsUniformScan(t *testing.T) {
+	d := NewMAWIDetector(DefaultMAWIConfig())
+	feedMAWIScan(d, "2001:db8:1::1", 150, 22, 60)
+	scans := d.Finish()
+	if len(scans) != 1 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	s := scans[0]
+	if s.Dsts != 150 || s.Packets != 150 || len(s.Services) != 1 {
+		t.Errorf("scan: %+v", s)
+	}
+	if s.Services[0].Port != 22 {
+		t.Errorf("service: %v", s.Services[0])
+	}
+	if len(s.DstIIDs) != 150 {
+		t.Errorf("IIDs: %d", len(s.DstIIDs))
+	}
+}
+
+func TestMAWIBelowDstThreshold(t *testing.T) {
+	d := NewMAWIDetector(DefaultMAWIConfig())
+	feedMAWIScan(d, "2001:db8:1::1", 99, 22, 60)
+	if scans := d.Finish(); len(scans) != 0 {
+		t.Errorf("scans = %d, want 0", len(scans))
+	}
+}
+
+func TestMAWIFukudaHeidemannThreshold(t *testing.T) {
+	cfg := DefaultMAWIConfig()
+	cfg.MinDsts = 5 // the original Fukuda–Heidemann threshold
+	d := NewMAWIDetector(cfg)
+	feedMAWIScan(d, "2001:db8:1::1", 7, 22, 60)
+	if scans := d.Finish(); len(scans) != 1 {
+		t.Errorf("scans = %d, want 1 at threshold 5", len(scans))
+	}
+}
+
+func TestMAWIRejectsTalkativeFlows(t *testing.T) {
+	// 12 packets per destination breaks rule (iii): not a scan but a
+	// service exchange.
+	d := NewMAWIDetector(DefaultMAWIConfig())
+	ts := base
+	for rep := 0; rep < 12; rep++ {
+		for i := 0; i < 150; i++ {
+			dst := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:bbbb::"), uint64(i+1))
+			d.Process(firewall.Record{
+				Time: ts, Src: netaddr6.MustAddr("2001:db8:1::1"), Dst: dst,
+				Proto: layers.ProtoTCP, DstPort: 22, Length: 60,
+			})
+			ts = ts.Add(time.Millisecond)
+		}
+	}
+	if scans := d.Finish(); len(scans) != 0 {
+		t.Errorf("talkative flow detected as scan")
+	}
+}
+
+func TestMAWIRejectsHighLengthEntropy(t *testing.T) {
+	// Variable packet sizes (regular traffic) break rule (iv).
+	d := NewMAWIDetector(DefaultMAWIConfig())
+	ts := base
+	for i := 0; i < 150; i++ {
+		dst := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:bbbb::"), uint64(i+1))
+		d.Process(firewall.Record{
+			Time: ts, Src: netaddr6.MustAddr("2001:db8:1::1"), Dst: dst,
+			Proto: layers.ProtoTCP, DstPort: 22, Length: uint16(60 + i*7%900),
+		})
+		ts = ts.Add(time.Millisecond)
+	}
+	if scans := d.Finish(); len(scans) != 0 {
+		t.Errorf("high-entropy flow detected as scan")
+	}
+}
+
+func TestMAWIMergesPortsPerSource(t *testing.T) {
+	d := NewMAWIDetector(DefaultMAWIConfig())
+	feedMAWIScan(d, "2001:db8:1::1", 120, 22, 60)
+	feedMAWIScan(d, "2001:db8:1::1", 130, 23, 60)
+	feedMAWIScan(d, "2001:db8:1::1", 20, 80, 60) // below threshold, excluded
+	scans := d.Finish()
+	if len(scans) != 1 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	s := scans[0]
+	if len(s.Services) != 2 || s.Services[0].Port != 22 || s.Services[1].Port != 23 {
+		t.Errorf("services: %v", s.Services)
+	}
+	if s.Packets != 250 {
+		t.Errorf("packets: %d", s.Packets)
+	}
+}
+
+func TestMAWIICMPv6Scan(t *testing.T) {
+	d := NewMAWIDetector(DefaultMAWIConfig())
+	ts := base
+	for i := 0; i < 200; i++ {
+		dst := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:bbbb::"), uint64(i+1))
+		d.Process(firewall.Record{
+			Time: ts, Src: netaddr6.MustAddr("2001:db8:9::1"), Dst: dst,
+			Proto: layers.ProtoICMPv6, Length: 48,
+		})
+		ts = ts.Add(time.Millisecond)
+	}
+	scans := d.Finish()
+	if len(scans) != 1 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	if scans[0].Services[0].String() != "ICMPv6" {
+		t.Errorf("service: %v", scans[0].Services[0])
+	}
+}
+
+func TestMAWISourceAggregationLevels(t *testing.T) {
+	// 3 /128s in one /64, 40 dsts each: at /128 nothing qualifies, at
+	// /64 the merged flow does.
+	for _, tc := range []struct {
+		level netaddr6.AggLevel
+		want  int
+	}{
+		{netaddr6.Agg128, 0},
+		{netaddr6.Agg64, 1},
+		{netaddr6.Agg48, 1},
+	} {
+		cfg := DefaultMAWIConfig()
+		cfg.Level = tc.level
+		d := NewMAWIDetector(cfg)
+		ts := base
+		for j := 0; j < 3; j++ {
+			src := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:1:1::"), uint64(j+1))
+			for i := 0; i < 40; i++ {
+				dst := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:bbbb::"), uint64(j*100+i+1))
+				d.Process(firewall.Record{
+					Time: ts, Src: src, Dst: dst,
+					Proto: layers.ProtoTCP, DstPort: 22, Length: 60,
+				})
+				ts = ts.Add(time.Millisecond)
+			}
+		}
+		if got := len(d.Finish()); got != tc.want {
+			t.Errorf("level %v: scans = %d, want %d", tc.level, got, tc.want)
+		}
+	}
+}
+
+func TestMAWIScanOrderingByPackets(t *testing.T) {
+	d := NewMAWIDetector(DefaultMAWIConfig())
+	feedMAWIScan(d, "2001:db8:1::1", 120, 22, 60)
+	feedMAWIScan(d, "2001:db8:2::1", 400, 23, 60)
+	scans := d.Finish()
+	if len(scans) != 2 || scans[0].Packets < scans[1].Packets {
+		t.Errorf("ordering: %+v", scans)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"v6scan/internal/netaddr6"
+)
+
+func TestDstSketchAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{50, 100, 1000, 20000} {
+		s := NewDstSketch(12)
+		for i := 0; i < n; i++ {
+			s.Add(netaddr6.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}.ToAddr())
+		}
+		got := float64(s.Estimate())
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		if relErr > 0.08 {
+			t.Errorf("n=%d: estimate %v, rel err %.3f", n, got, relErr)
+		}
+	}
+}
+
+func TestDstSketchDuplicatesIdempotent(t *testing.T) {
+	s := NewDstSketch(12)
+	a := netaddr6.MustAddr("2001:db8::1")
+	for i := 0; i < 10000; i++ {
+		s.Add(a)
+	}
+	if e := s.Estimate(); e > 3 {
+		t.Errorf("single address estimated as %d", e)
+	}
+}
+
+func TestDstSketchThresholdDecision(t *testing.T) {
+	// The only decision the detector needs: is the cardinality ≥100?
+	// With 3% error the sketch must never be wrong by 2x.
+	rng := rand.New(rand.NewSource(2))
+	below := NewDstSketch(12)
+	for i := 0; i < 50; i++ {
+		below.Add(netaddr6.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}.ToAddr())
+	}
+	if below.Estimate() >= 100 {
+		t.Errorf("50 dsts estimated as %d (false positive)", below.Estimate())
+	}
+	above := NewDstSketch(12)
+	for i := 0; i < 200; i++ {
+		above.Add(netaddr6.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}.ToAddr())
+	}
+	if above.Estimate() < 100 {
+		t.Errorf("200 dsts estimated as %d (false negative)", above.Estimate())
+	}
+}
+
+func TestDstSketchResetAndMemory(t *testing.T) {
+	s := NewDstSketch(10)
+	if s.MemoryBytes() != 1024 {
+		t.Errorf("memory = %d", s.MemoryBytes())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		s.Add(netaddr6.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}.ToAddr())
+	}
+	s.Reset()
+	if e := s.Estimate(); e != 0 {
+		t.Errorf("after reset: %d", e)
+	}
+}
+
+func TestDstSketchPrecisionClamp(t *testing.T) {
+	if NewDstSketch(1).MemoryBytes() != 16 {
+		t.Error("low clamp failed")
+	}
+	if NewDstSketch(20).MemoryBytes() != 1<<16 {
+		t.Error("high clamp failed")
+	}
+}
+
+func TestHashAddrSpreads(t *testing.T) {
+	// Sequential addresses must not collide in the high bits used for
+	// register selection.
+	seen := map[uint64]bool{}
+	base := netaddr6.MustAddr("2001:db8::")
+	for i := 0; i < 4096; i++ {
+		h := hashAddr(netaddr6.WithIID(base, uint64(i))) >> 52
+		seen[h] = true
+	}
+	if len(seen) < 2500 {
+		t.Errorf("high-bit spread: %d distinct of 4096", len(seen))
+	}
+}

@@ -1,0 +1,203 @@
+// Package firewall models the paper's primary data source: unsolicited
+// packets logged at the firewall of CDN machines. It defines the log
+// record schema, a compact binary codec for log files, the collection
+// policy (no TCP/80, no TCP/443, no ICMPv6 — Section 2.1), and the
+// "5-duplicate" artifact pre-filter of Appendix A.1 that removes SMTP
+// fallback and IPsec misconfiguration traffic before scan detection.
+package firewall
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"v6scan/internal/layers"
+	"v6scan/internal/netaddr6"
+)
+
+// Record is one unsolicited packet logged by a machine's firewall.
+// This is the schema every detector in this repository consumes; the
+// CDN pipeline produces it from decoded frames, the MAWI pipeline from
+// pcap records.
+type Record struct {
+	Time    time.Time
+	Src     netip.Addr
+	Dst     netip.Addr
+	Proto   layers.IPProtocol
+	SrcPort uint16
+	DstPort uint16
+	// Length is the IPv6 payload length plus the 40-byte fixed header:
+	// the on-wire L3 packet size. The MAWI detector's packet-length
+	// entropy criterion consumes it.
+	Length uint16
+}
+
+// Service identifies a targeted service as protocol + destination port,
+// the unit of the paper's port analyses ("TCP/22").
+type Service struct {
+	Proto layers.IPProtocol
+	Port  uint16
+}
+
+// String renders the Table-3 style label, e.g. "TCP/22" or "ICMPv6".
+func (s Service) String() string {
+	if s.Proto == layers.ProtoICMPv6 {
+		return "ICMPv6"
+	}
+	return fmt.Sprintf("%v/%d", s.Proto, s.Port)
+}
+
+// Service returns the record's targeted service.
+func (r Record) Service() Service {
+	return Service{Proto: r.Proto, Port: r.DstPort}
+}
+
+// FromDecoded converts a parsed frame into a log record.
+func FromDecoded(ts time.Time, d *layers.Decoded) Record {
+	return Record{
+		Time:    ts,
+		Src:     d.IPv6.Src,
+		Dst:     d.IPv6.Dst,
+		Proto:   d.Transport,
+		SrcPort: d.SrcPort(),
+		DstPort: d.DstPort(),
+		Length:  d.IPv6.Length + 40,
+	}
+}
+
+// CollectPolicy is the CDN logging policy of Section 2.1.
+type CollectPolicy struct {
+	// ExcludedTCPPorts are destination ports never logged because the
+	// machines serve them (TCP/80 and TCP/443 at the CDN).
+	ExcludedTCPPorts map[uint16]bool
+	// LogICMPv6 is false at the CDN (ICMPv6 is not collected).
+	LogICMPv6 bool
+}
+
+// DefaultCollectPolicy returns the paper's CDN policy.
+func DefaultCollectPolicy() CollectPolicy {
+	return CollectPolicy{
+		ExcludedTCPPorts: map[uint16]bool{80: true, 443: true},
+		LogICMPv6:        false,
+	}
+}
+
+// Admit reports whether the policy logs this record.
+func (p CollectPolicy) Admit(r Record) bool {
+	if !netaddr6.IsIPv6(r.Src) || !netaddr6.IsIPv6(r.Dst) {
+		return false
+	}
+	switch r.Proto {
+	case layers.ProtoTCP:
+		return !p.ExcludedTCPPorts[r.DstPort]
+	case layers.ProtoICMPv6:
+		return p.LogICMPv6
+	default:
+		return true
+	}
+}
+
+// recordWireSize is the fixed encoded size of a Record.
+const recordWireSize = 8 + 16 + 16 + 1 + 2 + 2 + 2 // 47
+
+// Errors returned by the codec.
+var (
+	ErrShortRecord = errors.New("firewall: short record")
+)
+
+// AppendBinary encodes r in the fixed 47-byte wire form.
+func (r Record) AppendBinary(b []byte) []byte {
+	var tmp [recordWireSize]byte
+	binary.BigEndian.PutUint64(tmp[0:8], uint64(r.Time.UnixNano()))
+	src, dst := r.Src.As16(), r.Dst.As16()
+	copy(tmp[8:24], src[:])
+	copy(tmp[24:40], dst[:])
+	tmp[40] = uint8(r.Proto)
+	binary.BigEndian.PutUint16(tmp[41:43], r.SrcPort)
+	binary.BigEndian.PutUint16(tmp[43:45], r.DstPort)
+	binary.BigEndian.PutUint16(tmp[45:47], r.Length)
+	return append(b, tmp[:]...)
+}
+
+// DecodeBinary decodes a record from the fixed wire form.
+func (r *Record) DecodeBinary(b []byte) error {
+	if len(b) < recordWireSize {
+		return ErrShortRecord
+	}
+	r.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC()
+	var a [16]byte
+	copy(a[:], b[8:24])
+	r.Src = netip.AddrFrom16(a)
+	copy(a[:], b[24:40])
+	r.Dst = netip.AddrFrom16(a)
+	r.Proto = layers.IPProtocol(b[40])
+	r.SrcPort = binary.BigEndian.Uint16(b[41:43])
+	r.DstPort = binary.BigEndian.Uint16(b[43:45])
+	r.Length = binary.BigEndian.Uint16(b[45:47])
+	return nil
+}
+
+// Writer streams records to a log file in binary form.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+	n   uint64
+}
+
+// NewWriter returns a log writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, buf: make([]byte, 0, 64*recordWireSize)}
+}
+
+// Write appends one record, buffering internally; call Flush when done.
+func (w *Writer) Write(r Record) error {
+	w.buf = r.AppendBinary(w.buf)
+	w.n++
+	if len(w.buf) >= cap(w.buf)-recordWireSize {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush writes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.w.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// Reader streams records from a binary log file.
+type Reader struct {
+	r   io.Reader
+	buf [recordWireSize]byte
+}
+
+// NewReader returns a log reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next record; io.EOF signals a clean end.
+func (rd *Reader) Next() (Record, error) {
+	if _, err := io.ReadFull(rd.r, rd.buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("%w: trailing %d bytes", ErrShortRecord, len(rd.buf))
+		}
+		return Record{}, err
+	}
+	var r Record
+	if err := r.DecodeBinary(rd.buf[:]); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}

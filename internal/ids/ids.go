@@ -1,0 +1,298 @@
+// Package ids implements the operational recommendation of the paper's
+// Discussion section: an inline intrusion-detection component that
+// tracks scan candidates at several source-aggregation levels
+// *simultaneously*, with bounded per-source memory, and recommends per
+// scanning entity the most specific blocklist prefix that captures its
+// activity.
+//
+// The paper shows that any fixed aggregation mask fails: too specific
+// (/128) misses actors that spread sources across a prefix (AS #9,
+// AS #18), too coarse (/32) merges distinct tenants of a cloud provider
+// and causes collateral damage when blocklisting (AS #6). The engine
+// here resolves this by:
+//
+//  1. maintaining per-level candidate tables keyed by aggregated source
+//     prefix, using HyperLogLog destination sketches (constant memory
+//     per candidate, unlike the exact sets of the offline detector);
+//  2. alerting at the *most specific* level whose estimated destination
+//     cardinality crosses the threshold;
+//  3. suppressing redundant coarser alerts when a more specific prefix
+//     already accounts for the bulk of the coarser aggregate's
+//     destinations — and escalating to the coarser prefix when it does
+//     not (the spread-source case).
+//
+// The engine is deliberately single-goroutine (callers shard by flow
+// hash, the gopacket FastHash idiom) and allocation-light.
+package ids
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/netaddr6"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// MinDsts is the destination-cardinality alert threshold
+	// (default 100, the paper's large-scale scan bar).
+	MinDsts int
+	// Timeout evicts idle candidates (default 1 hour, the scan
+	// definition's inter-arrival bound).
+	Timeout time.Duration
+	// Levels are the aggregation levels tracked, most specific first
+	// (default /128, /64, /48, /32).
+	Levels []netaddr6.AggLevel
+	// SketchPrecision sets HyperLogLog register count = 2^precision
+	// per candidate (default 10 → 1 KiB, ≈3% error).
+	SketchPrecision uint8
+	// CoverageShare is the fraction of a coarser aggregate's
+	// destinations a more specific alert must explain to suppress the
+	// coarser alert (default 0.9).
+	CoverageShare float64
+	// MaxCandidates bounds each level's table; when full, new
+	// candidates are dropped (deployments would shard or sample).
+	// Default 1<<20.
+	MaxCandidates int
+}
+
+// DefaultConfig returns production-oriented defaults.
+func DefaultConfig() Config {
+	return Config{
+		MinDsts:         100,
+		Timeout:         time.Hour,
+		Levels:          []netaddr6.AggLevel{netaddr6.Agg128, netaddr6.Agg64, netaddr6.Agg48, netaddr6.Agg32},
+		SketchPrecision: 10,
+		CoverageShare:   0.9,
+		MaxCandidates:   1 << 20,
+	}
+}
+
+// Alert is one detected scanning entity with a blocklist
+// recommendation.
+type Alert struct {
+	// Prefix is the recommended blocklist entry: the most specific
+	// aggregation that captures the entity's activity.
+	Prefix netip.Prefix
+	// Level is the aggregation level of Prefix.
+	Level netaddr6.AggLevel
+	// EstimatedDsts is the sketched destination cardinality.
+	EstimatedDsts uint64
+	// Packets counts packets attributed to the entity.
+	Packets uint64
+	// First and Last bound the observed activity.
+	First, Last time.Time
+	// Escalated reports that a coarser prefix was chosen because no
+	// more specific candidate explained the activity (the AS #18
+	// spread-source pattern).
+	Escalated bool
+}
+
+// String renders a log line.
+func (a Alert) String() string {
+	esc := ""
+	if a.Escalated {
+		esc = " (escalated: spread-source entity)"
+	}
+	return fmt.Sprintf("scan from %v [%v]: ≈%d dsts, %d packets, %v–%v%s",
+		a.Prefix, a.Level, a.EstimatedDsts, a.Packets,
+		a.First.Format(time.RFC3339), a.Last.Format(time.RFC3339), esc)
+}
+
+type candidate struct {
+	sketch      *core.DstSketch
+	packets     uint64
+	first, last time.Time
+	alerted     bool
+}
+
+type level struct {
+	agg        netaddr6.AggLevel
+	candidates map[netip.Prefix]*candidate
+}
+
+// Engine is the dynamic-aggregation IDS.
+type Engine struct {
+	cfg    Config
+	levels []*level // most specific first
+	now    time.Time
+
+	// alerts accumulated since the last Drain.
+	alerts []Alert
+	// dropped counts candidates rejected by MaxCandidates.
+	dropped uint64
+}
+
+// New returns an engine.
+func New(cfg Config) *Engine {
+	def := DefaultConfig()
+	if cfg.MinDsts <= 0 {
+		cfg.MinDsts = def.MinDsts
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = def.Timeout
+	}
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = def.Levels
+	}
+	if cfg.SketchPrecision == 0 {
+		cfg.SketchPrecision = def.SketchPrecision
+	}
+	if cfg.CoverageShare <= 0 || cfg.CoverageShare > 1 {
+		cfg.CoverageShare = def.CoverageShare
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = def.MaxCandidates
+	}
+	// Sort levels most specific first: alerting prefers specificity.
+	sort.Slice(cfg.Levels, func(i, j int) bool { return cfg.Levels[i] > cfg.Levels[j] })
+	e := &Engine{cfg: cfg}
+	for _, l := range cfg.Levels {
+		e.levels = append(e.levels, &level{agg: l, candidates: make(map[netip.Prefix]*candidate)})
+	}
+	return e
+}
+
+// Process ingests one record, updating every level's candidate.
+func (e *Engine) Process(r firewall.Record) {
+	if r.Time.After(e.now) {
+		e.now = r.Time
+	}
+	for _, lv := range e.levels {
+		key := netaddr6.Aggregate(r.Src, lv.agg)
+		c := lv.candidates[key]
+		if c == nil {
+			if len(lv.candidates) >= e.cfg.MaxCandidates {
+				e.dropped++
+				continue
+			}
+			c = &candidate{sketch: core.NewDstSketch(e.cfg.SketchPrecision), first: r.Time}
+			lv.candidates[key] = c
+		}
+		c.sketch.Add(r.Dst)
+		c.packets++
+		c.last = r.Time
+	}
+}
+
+// Tick advances time, evicting idle candidates and emitting alerts for
+// entities whose activity ended. Call periodically (e.g. once per
+// minute of stream time); Flush emits everything at shutdown.
+func (e *Engine) Tick(now time.Time) {
+	if now.After(e.now) {
+		e.now = now
+	}
+	e.sweep(false)
+}
+
+// Flush evicts every candidate regardless of idleness and returns all
+// pending alerts.
+func (e *Engine) Flush() []Alert {
+	e.sweep(true)
+	return e.Drain()
+}
+
+// Drain returns and clears pending alerts.
+func (e *Engine) Drain() []Alert {
+	out := e.alerts
+	e.alerts = nil
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].First.Equal(out[j].First) {
+			return out[i].First.Before(out[j].First)
+		}
+		return out[i].Prefix.Addr().Compare(out[j].Prefix.Addr()) < 0
+	})
+	return out
+}
+
+// Candidates returns the current working-set size at a level.
+func (e *Engine) Candidates(l netaddr6.AggLevel) int {
+	for _, lv := range e.levels {
+		if lv.agg == l {
+			return len(lv.candidates)
+		}
+	}
+	return 0
+}
+
+// MemoryBytes estimates sketch memory across all levels — the quantity
+// an IDS deployment budgets.
+func (e *Engine) MemoryBytes() int {
+	total := 0
+	for _, lv := range e.levels {
+		for _, c := range lv.candidates {
+			total += c.sketch.MemoryBytes()
+		}
+	}
+	return total
+}
+
+// sweep evicts (idle or all) candidates level by level, most specific
+// first, applying the suppression/escalation logic.
+func (e *Engine) sweep(all bool) {
+	type closedScan struct {
+		prefix netip.Prefix
+		level  netaddr6.AggLevel
+		c      *candidate
+	}
+	// Collect qualifying closed candidates per level, most specific
+	// level first.
+	var closed []closedScan
+	for _, lv := range e.levels {
+		for key, c := range lv.candidates {
+			if !all && e.now.Sub(c.last) <= e.cfg.Timeout {
+				continue
+			}
+			delete(lv.candidates, key)
+			if c.sketch.Estimate() >= uint64(e.cfg.MinDsts) {
+				closed = append(closed, closedScan{prefix: key, level: lv.agg, c: c})
+			}
+		}
+	}
+	if len(closed) == 0 {
+		return
+	}
+	// Most specific first, then by address for determinism.
+	sort.Slice(closed, func(i, j int) bool {
+		if closed[i].level != closed[j].level {
+			return closed[i].level > closed[j].level
+		}
+		return closed[i].prefix.Addr().Compare(closed[j].prefix.Addr()) < 0
+	})
+	// Suppression: a coarser candidate is redundant if already-emitted
+	// more specific alerts cover CoverageShare of its destinations
+	// (approximated by cardinality sums — sketches cannot intersect,
+	// and scan destination sets at different levels of one entity
+	// nest).
+	emitted := make([]Alert, 0, len(closed))
+	for _, cs := range closed {
+		var coveredDsts uint64
+		for _, a := range emitted {
+			if netaddr6.PrefixContains(cs.prefix, a.Prefix) {
+				coveredDsts += a.EstimatedDsts
+			}
+		}
+		est := cs.c.sketch.Estimate()
+		if float64(coveredDsts) >= e.cfg.CoverageShare*float64(est) {
+			continue // explained by finer alerts
+		}
+		emitted = append(emitted, Alert{
+			Prefix:        cs.prefix,
+			Level:         cs.level,
+			EstimatedDsts: est,
+			Packets:       cs.c.packets,
+			First:         cs.c.first,
+			Last:          cs.c.last,
+			Escalated:     coveredDsts > 0 || cs.level != e.levels[0].agg,
+		})
+	}
+	e.alerts = append(e.alerts, emitted...)
+}
+
+// DroppedCandidates reports how many candidates were rejected by the
+// MaxCandidates bound.
+func (e *Engine) DroppedCandidates() uint64 { return e.dropped }

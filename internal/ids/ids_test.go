@@ -1,0 +1,230 @@
+package ids
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"v6scan/internal/firewall"
+	"v6scan/internal/layers"
+	"v6scan/internal/netaddr6"
+)
+
+var t0 = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(ts time.Time, src, dst netip.Addr) firewall.Record {
+	return firewall.Record{Time: ts, Src: src, Dst: dst, Proto: layers.ProtoTCP, DstPort: 22, Length: 60}
+}
+
+// feed sends n probes from src to distinct destinations starting at
+// offset off, one per second, returning the advanced timestamp.
+func feed(e *Engine, ts time.Time, src netip.Addr, n, off int) time.Time {
+	for i := 0; i < n; i++ {
+		dst := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:f::"), uint64(off+i+1))
+		e.Process(rec(ts, src, dst))
+		ts = ts.Add(time.Second)
+	}
+	return ts
+}
+
+func TestSingleSourceAlertIsMostSpecific(t *testing.T) {
+	e := New(DefaultConfig())
+	feed(e, t0, netaddr6.MustAddr("2001:db8:bad0::1"), 200, 0)
+	alerts := e.Flush()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts: %d (%v)", len(alerts), alerts)
+	}
+	a := alerts[0]
+	if a.Level != netaddr6.Agg128 {
+		t.Errorf("level = %v, want /128", a.Level)
+	}
+	if a.Prefix != netaddr6.MustPrefix("2001:db8:bad0::1/128") {
+		t.Errorf("prefix = %v", a.Prefix)
+	}
+	if a.EstimatedDsts < 180 || a.EstimatedDsts > 220 {
+		t.Errorf("estimate = %d, want ≈200", a.EstimatedDsts)
+	}
+	if a.Escalated {
+		t.Error("single-source alert marked escalated")
+	}
+}
+
+func TestSpreadSourceEscalatesTo64(t *testing.T) {
+	// 50 /128s in one /64, 8 dsts each (AS #9 pattern scaled): no /128
+	// qualifies, the /64 must alert.
+	e := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	ts := t0
+	net64 := netaddr6.MustPrefix("2001:db8:9:1::/64")
+	for i := 0; i < 50; i++ {
+		src := netaddr6.RandomAddrIn(net64, rng)
+		ts = feed(e, ts, src, 8, i*8)
+	}
+	alerts := e.Flush()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts: %v", alerts)
+	}
+	if alerts[0].Level != netaddr6.Agg64 || !alerts[0].Escalated {
+		t.Errorf("alert: %+v", alerts[0])
+	}
+	if alerts[0].Prefix != net64 {
+		t.Errorf("prefix = %v", alerts[0].Prefix)
+	}
+}
+
+func TestSpreadOver48Escalates(t *testing.T) {
+	// 40 /64s in one /48, 5 dsts each (AS #18 pattern scaled).
+	e := New(DefaultConfig())
+	ts := t0
+	net48 := netaddr6.MustPrefix("2001:db8:18::/48")
+	for i := 0; i < 40; i++ {
+		src := netaddr6.WithIID(netaddr6.NthSubprefix(net48, 64, uint64(i)).Addr(), 1)
+		ts = feed(e, ts, src, 5, i*5)
+	}
+	alerts := e.Flush()
+	if len(alerts) != 1 || alerts[0].Level != netaddr6.Agg48 {
+		t.Fatalf("alerts: %v", alerts)
+	}
+}
+
+func TestCloudTenantsNotMerged(t *testing.T) {
+	// Two independent heavy scanners in different /64s of one /48
+	// (cloud tenants): each deserves its own /64-or-finer alert and the
+	// /48 must be suppressed — no collateral blocklisting.
+	e := New(DefaultConfig())
+	ts := t0
+	a := netaddr6.MustAddr("2001:db8:c:1::1")
+	b := netaddr6.MustAddr("2001:db8:c:2::1")
+	for i := 0; i < 150; i++ {
+		dstA := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:f::"), uint64(i+1))
+		dstB := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:f::"), uint64(5000+i))
+		e.Process(rec(ts, a, dstA))
+		e.Process(rec(ts, b, dstB))
+		ts = ts.Add(time.Second)
+	}
+	alerts := e.Flush()
+	if len(alerts) != 2 {
+		t.Fatalf("alerts: %v", alerts)
+	}
+	for _, al := range alerts {
+		if al.Level != netaddr6.Agg128 {
+			t.Errorf("tenant alert at %v (collateral damage): %v", al.Level, al.Prefix)
+		}
+	}
+}
+
+func TestMixedEntityEscalation(t *testing.T) {
+	// One strong /128 plus diffuse activity across its /64: the /128
+	// alert fires, and the /64 fires too (escalated) because the /128
+	// explains under 90% of the aggregate.
+	e := New(DefaultConfig())
+	ts := t0
+	strong := netaddr6.MustAddr("2001:db8:a:1::1")
+	ts = feed(e, ts, strong, 120, 0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		src := netaddr6.RandomAddrIn(netaddr6.MustPrefix("2001:db8:a:1::/64"), rng)
+		ts = feed(e, ts, src, 4, 1000+i*4)
+	}
+	alerts := e.Flush()
+	if len(alerts) != 2 {
+		t.Fatalf("alerts: %v", alerts)
+	}
+	if alerts[0].Level == alerts[1].Level {
+		t.Errorf("expected /128 + /64, got %v and %v", alerts[0].Level, alerts[1].Level)
+	}
+}
+
+func TestTimeoutEviction(t *testing.T) {
+	e := New(DefaultConfig())
+	feed(e, t0, netaddr6.MustAddr("2001:db8:bad0::1"), 150, 0)
+	if e.Candidates(netaddr6.Agg128) == 0 {
+		t.Fatal("no candidates")
+	}
+	e.Tick(t0.Add(3 * time.Hour))
+	if e.Candidates(netaddr6.Agg128) != 0 {
+		t.Error("idle candidate not evicted")
+	}
+	alerts := e.Drain()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts after tick: %v", alerts)
+	}
+}
+
+func TestBelowThresholdSilent(t *testing.T) {
+	e := New(DefaultConfig())
+	feed(e, t0, netaddr6.MustAddr("2001:db8:0c::1"), 50, 0)
+	if alerts := e.Flush(); len(alerts) != 0 {
+		t.Errorf("alerts for 50 dsts: %v", alerts)
+	}
+}
+
+func TestMemoryBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SketchPrecision = 8 // 256 B per candidate
+	e := New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	ts := t0
+	// 1000 sources, heavy destinations each: exact sets would cost
+	// ~32 B × dsts; sketches stay constant.
+	for i := 0; i < 1000; i++ {
+		src := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:33::"), uint64(i+1))
+		for j := 0; j < 50; j++ {
+			dst := netaddr6.RandomAddrIn(netaddr6.MustPrefix("2001:db8:f::/48"), rng)
+			e.Process(rec(ts, src, dst))
+		}
+		ts = ts.Add(time.Second)
+	}
+	// 1000 /128 candidates + 1 /64 + 1 /48 + 1 /32 ≈ 1003 sketches.
+	if got := e.MemoryBytes(); got > 1100*256 {
+		t.Errorf("memory = %d bytes", got)
+	}
+}
+
+func TestMaxCandidatesBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCandidates = 10
+	e := New(cfg)
+	ts := t0
+	for i := 0; i < 50; i++ {
+		src := netaddr6.WithIID(netaddr6.MustAddr("2001:db8:44::"), uint64(i+1))
+		e.Process(rec(ts, src, netaddr6.MustAddr("2001:db8:f::1")))
+		ts = ts.Add(time.Millisecond)
+	}
+	if e.Candidates(netaddr6.Agg128) != 10 {
+		t.Errorf("candidates = %d, want 10", e.Candidates(netaddr6.Agg128))
+	}
+	if e.DroppedCandidates() == 0 {
+		t.Error("drop counter not incremented")
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{
+		Prefix: netaddr6.MustPrefix("2001:db8::/64"), Level: netaddr6.Agg64,
+		EstimatedDsts: 123, Packets: 456, First: t0, Last: t0.Add(time.Hour), Escalated: true,
+	}
+	s := a.String()
+	if s == "" || a.Prefix.String() == "" {
+		t.Error("empty render")
+	}
+	for _, want := range []string{"2001:db8::/64", "123", "456", "escalated"} {
+		if !contains(s, want) {
+			t.Errorf("render %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

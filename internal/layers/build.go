@@ -1,0 +1,94 @@
+package layers
+
+import (
+	"net/netip"
+)
+
+// This file provides convenience packet builders used by the telescope,
+// scanner, and MAWI simulators. Each returns a freshly allocated wire
+// frame; simulators that need zero-allocation hot paths use
+// SerializeLayers with reused buffers instead.
+
+// BuildOptions configures the convenience builders.
+type BuildOptions struct {
+	Link       LinkType // LinkTypeEthernet or LinkTypeRaw (default raw)
+	HopLimit   uint8    // default 64
+	PayloadLen int      // application payload bytes (zero-filled)
+}
+
+func (o BuildOptions) hopLimit() uint8 {
+	if o.HopLimit == 0 {
+		return 64
+	}
+	return o.HopLimit
+}
+
+var buildSerializeOpts = SerializeOptions{FixLengths: true, ComputeChecksums: true}
+
+// BuildTCPSYN constructs a TCP SYN probe — the archetypal scan packet —
+// from src to dst:port.
+func BuildTCPSYN(src, dst netip.Addr, srcPort, dstPort uint16, opt BuildOptions) ([]byte, error) {
+	ip := &IPv6{
+		NextHeader: ProtoTCP,
+		HopLimit:   opt.hopLimit(),
+		Src:        src,
+		Dst:        dst,
+	}
+	tcp := &TCP{
+		SrcPort:    srcPort,
+		DstPort:    dstPort,
+		Seq:        uint32(srcPort)<<16 | uint32(dstPort), // deterministic, irrelevant to detection
+		DataOffset: 5,
+		Flags:      FlagSYN,
+		Window:     64240,
+	}
+	tcp.SetNetworkLayerForChecksum(ip)
+	return buildFrame(opt, ip, tcp, make(Payload, opt.PayloadLen))
+}
+
+// BuildUDPProbe constructs a UDP probe from src to dst:port.
+func BuildUDPProbe(src, dst netip.Addr, srcPort, dstPort uint16, opt BuildOptions) ([]byte, error) {
+	ip := &IPv6{
+		NextHeader: ProtoUDP,
+		HopLimit:   opt.hopLimit(),
+		Src:        src,
+		Dst:        dst,
+	}
+	udp := &UDP{SrcPort: srcPort, DstPort: dstPort}
+	udp.SetNetworkLayerForChecksum(ip)
+	return buildFrame(opt, ip, udp, make(Payload, opt.PayloadLen))
+}
+
+// BuildICMPv6Echo constructs an ICMPv6 echo request, the probe type of
+// the MAWI ICMPv6 scan peaks.
+func BuildICMPv6Echo(src, dst netip.Addr, id, seq uint16, opt BuildOptions) ([]byte, error) {
+	ip := &IPv6{
+		NextHeader: ProtoICMPv6,
+		HopLimit:   opt.hopLimit(),
+		Src:        src,
+		Dst:        dst,
+	}
+	ic := &ICMPv6{Type: ICMPv6EchoRequest, Identifier: id, SeqNumber: seq}
+	ic.SetNetworkLayerForChecksum(ip)
+	return buildFrame(opt, ip, ic, make(Payload, opt.PayloadLen))
+}
+
+func buildFrame(opt BuildOptions, ip *IPv6, rest ...SerializableLayer) ([]byte, error) {
+	buf := NewSerializeBuffer(ethernetHeaderLen + ipv6HeaderLen + 40)
+	ls := make([]SerializableLayer, 0, len(rest)+2)
+	if opt.Link == LinkTypeEthernet {
+		ls = append(ls, &Ethernet{
+			Dst:       MACAddr{0x02, 0, 0, 0, 0, 0x01},
+			Src:       MACAddr{0x02, 0, 0, 0, 0, 0x02},
+			EtherType: EtherTypeIPv6,
+		})
+	}
+	ls = append(ls, ip)
+	ls = append(ls, rest...)
+	if err := SerializeLayers(buf, buildSerializeOpts, ls...); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}

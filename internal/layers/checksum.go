@@ -1,0 +1,45 @@
+package layers
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// pseudoHeaderSum computes the ones-complement sum of the IPv6
+// pseudo-header (RFC 8200 §8.1) for upper-layer checksums.
+func pseudoHeaderSum(src, dst netip.Addr, length uint32, proto IPProtocol) uint64 {
+	var sum uint64
+	s, d := src.As16(), dst.As16()
+	for i := 0; i < 16; i += 2 {
+		sum += uint64(binary.BigEndian.Uint16(s[i : i+2]))
+		sum += uint64(binary.BigEndian.Uint16(d[i : i+2]))
+	}
+	sum += uint64(length>>16) + uint64(length&0xFFFF)
+	sum += uint64(proto)
+	return sum
+}
+
+// checksum finishes an ones-complement checksum over data with an
+// initial sum (from the pseudo-header).
+func checksum(data []byte, initial uint64) uint16 {
+	sum := initial
+	for len(data) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint64(data[0]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the RFC 8200 upper-layer checksum for the
+// given transport segment (header+payload with the checksum field
+// zeroed by the caller, or included — callers verifying a checksum pass
+// the segment as-is and expect 0).
+func transportChecksum(src, dst netip.Addr, proto IPProtocol, segment []byte) uint16 {
+	return checksum(segment, pseudoHeaderSum(src, dst, uint32(len(segment)), proto))
+}

@@ -1,0 +1,61 @@
+package layers
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType identifies the protocol carried in an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes relevant to the telescope.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeIPv6 EtherType = 0x86DD
+)
+
+// MACAddr is a 48-bit Ethernet address.
+type MACAddr [6]byte
+
+// String formats the address as colon-separated hex.
+func (m MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is a decoded Ethernet II header. Decoding is zero-copy: the
+// payload slice aliases the input buffer.
+type Ethernet struct {
+	Dst, Src  MACAddr
+	EtherType EtherType
+
+	payload []byte
+}
+
+const ethernetHeaderLen = 14
+
+// LayerType implements SerializableLayer.
+func (*Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// Payload returns the bytes following the Ethernet header.
+func (e *Ethernet) Payload() []byte { return e.payload }
+
+// DecodeFromBytes parses an Ethernet II header.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < ethernetHeaderLen {
+		return fmt.Errorf("ethernet header: %w", ErrTruncated)
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	e.payload = data[ethernetHeaderLen:]
+	return nil
+}
+
+// SerializeTo prepends the Ethernet header.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.Prepend(ethernetHeaderLen)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], uint16(e.EtherType))
+	return nil
+}

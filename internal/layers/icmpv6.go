@@ -1,0 +1,125 @@
+package layers
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// ICMPv6Type is the ICMPv6 message type.
+type ICMPv6Type uint8
+
+// ICMPv6 types relevant to scanning: echo requests are what the MAWI
+// ICMPv6 scan peaks consist of.
+const (
+	ICMPv6DstUnreachable  ICMPv6Type = 1
+	ICMPv6PacketTooBig    ICMPv6Type = 2
+	ICMPv6TimeExceeded    ICMPv6Type = 3
+	ICMPv6ParamProblem    ICMPv6Type = 4
+	ICMPv6EchoRequest     ICMPv6Type = 128
+	ICMPv6EchoReply       ICMPv6Type = 129
+	ICMPv6NeighborSolicit ICMPv6Type = 135
+	ICMPv6NeighborAdvert  ICMPv6Type = 136
+)
+
+// String names the message type.
+func (t ICMPv6Type) String() string {
+	switch t {
+	case ICMPv6DstUnreachable:
+		return "DstUnreachable"
+	case ICMPv6PacketTooBig:
+		return "PacketTooBig"
+	case ICMPv6TimeExceeded:
+		return "TimeExceeded"
+	case ICMPv6ParamProblem:
+		return "ParamProblem"
+	case ICMPv6EchoRequest:
+		return "EchoRequest"
+	case ICMPv6EchoReply:
+		return "EchoReply"
+	case ICMPv6NeighborSolicit:
+		return "NeighborSolicit"
+	case ICMPv6NeighborAdvert:
+		return "NeighborAdvert"
+	default:
+		return fmt.Sprintf("ICMPv6Type(%d)", uint8(t))
+	}
+}
+
+// ICMPv6 is a decoded ICMPv6 message. For echo request/reply the
+// Identifier and SeqNumber fields are populated from the body.
+type ICMPv6 struct {
+	Type       ICMPv6Type
+	Code       uint8
+	Checksum   uint16
+	Identifier uint16 // echo only
+	SeqNumber  uint16 // echo only
+
+	body   []byte
+	netSrc netip.Addr
+	netDst netip.Addr
+	hasNet bool
+}
+
+const icmpv6HeaderLen = 4
+
+// LayerType implements SerializableLayer.
+func (*ICMPv6) LayerType() LayerType { return LayerTypeICMPv6 }
+
+// Payload returns the message body after the 4-byte header.
+func (ic *ICMPv6) Payload() []byte { return ic.body }
+
+// SetNetworkLayerForChecksum provides the IPv6 addresses used in the
+// pseudo-header when serializing with ComputeChecksums.
+func (ic *ICMPv6) SetNetworkLayerForChecksum(ip *IPv6) {
+	ic.netSrc, ic.netDst, ic.hasNet = ip.Src, ip.Dst, true
+}
+
+// DecodeFromBytes parses an ICMPv6 message.
+func (ic *ICMPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < icmpv6HeaderLen {
+		return fmt.Errorf("icmpv6 header: %w", ErrTruncated)
+	}
+	ic.Type = ICMPv6Type(data[0])
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.body = data[icmpv6HeaderLen:]
+	ic.Identifier, ic.SeqNumber = 0, 0
+	if ic.Type == ICMPv6EchoRequest || ic.Type == ICMPv6EchoReply {
+		if len(ic.body) < 4 {
+			return fmt.Errorf("icmpv6 echo body: %w", ErrTruncated)
+		}
+		ic.Identifier = binary.BigEndian.Uint16(ic.body[0:2])
+		ic.SeqNumber = binary.BigEndian.Uint16(ic.body[2:4])
+	}
+	return nil
+}
+
+// SerializeTo prepends the ICMPv6 header. For echo types the
+// identifier/sequence pair is prepended as well (callers provide any
+// additional echo data as a Payload layer).
+func (ic *ICMPv6) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if ic.Type == ICMPv6EchoRequest || ic.Type == ICMPv6EchoReply {
+		e := b.Prepend(4)
+		binary.BigEndian.PutUint16(e[0:2], ic.Identifier)
+		binary.BigEndian.PutUint16(e[2:4], ic.SeqNumber)
+	}
+	h := b.Prepend(icmpv6HeaderLen)
+	h[0] = uint8(ic.Type)
+	h[1] = ic.Code
+	binary.BigEndian.PutUint16(h[2:4], 0)
+	if opts.ComputeChecksums {
+		if !ic.hasNet {
+			return fmt.Errorf("icmpv6 serialize: checksum requested without network layer")
+		}
+		ic.Checksum = transportChecksum(ic.netSrc, ic.netDst, ProtoICMPv6, b.Bytes())
+	}
+	binary.BigEndian.PutUint16(h[2:4], ic.Checksum)
+	return nil
+}
+
+// VerifyChecksum recomputes the checksum over the full message and
+// reports whether it is consistent.
+func (ic *ICMPv6) VerifyChecksum(src, dst netip.Addr, segment []byte) bool {
+	return transportChecksum(src, dst, ProtoICMPv6, segment) == 0
+}

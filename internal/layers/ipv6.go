@@ -1,0 +1,141 @@
+package layers
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv6 is a decoded IPv6 fixed header.
+type IPv6 struct {
+	Version      uint8 // always 6 after a successful decode
+	TrafficClass uint8
+	FlowLabel    uint32
+	Length       uint16 // payload length (everything after the 40-byte header)
+	NextHeader   IPProtocol
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+
+	payload []byte
+}
+
+const ipv6HeaderLen = 40
+
+// LayerType implements SerializableLayer.
+func (*IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// Payload returns the bytes following the fixed header (extension
+// headers included).
+func (ip *IPv6) Payload() []byte { return ip.payload }
+
+// DecodeFromBytes parses the 40-byte IPv6 fixed header.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv6HeaderLen {
+		return fmt.Errorf("ipv6 header: %w", ErrTruncated)
+	}
+	vtf := binary.BigEndian.Uint32(data[0:4])
+	ip.Version = uint8(vtf >> 28)
+	if ip.Version != 6 {
+		return fmt.Errorf("version %d: %w", ip.Version, ErrNotIPv6)
+	}
+	ip.TrafficClass = uint8(vtf >> 20)
+	ip.FlowLabel = vtf & 0xFFFFF
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = IPProtocol(data[6])
+	ip.HopLimit = data[7]
+	var a [16]byte
+	copy(a[:], data[8:24])
+	ip.Src = netip.AddrFrom16(a)
+	copy(a[:], data[24:40])
+	ip.Dst = netip.AddrFrom16(a)
+	ip.payload = data[ipv6HeaderLen:]
+	return nil
+}
+
+// SerializeTo prepends the IPv6 fixed header. With opts.FixLengths the
+// payload-length field is set to the current buffer content length.
+func (ip *IPv6) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if !ip.Src.Is6() || !ip.Dst.Is6() {
+		return fmt.Errorf("ipv6 serialize: src/dst must be IPv6 (%v → %v)", ip.Src, ip.Dst)
+	}
+	if opts.FixLengths {
+		if b.Len() > 0xFFFF {
+			return fmt.Errorf("ipv6 serialize: payload %d exceeds 65535", b.Len())
+		}
+		ip.Length = uint16(b.Len())
+	}
+	h := b.Prepend(ipv6HeaderLen)
+	vtf := uint32(6)<<28 | uint32(ip.TrafficClass)<<20 | ip.FlowLabel&0xFFFFF
+	binary.BigEndian.PutUint32(h[0:4], vtf)
+	binary.BigEndian.PutUint16(h[4:6], ip.Length)
+	h[6] = uint8(ip.NextHeader)
+	h[7] = ip.HopLimit
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	copy(h[8:24], src[:])
+	copy(h[24:40], dst[:])
+	return nil
+}
+
+// Extension is a decoded generic IPv6 extension header (hop-by-hop,
+// routing, destination options, or fragment). The telescope does not
+// interpret option contents; it only needs to skip the chain to find
+// the transport header, but records which extensions were present
+// since unusual chains are a scanner fingerprinting feature.
+type Extension struct {
+	Protocol   IPProtocol // which extension this is
+	NextHeader IPProtocol
+	Contents   []byte // full extension header bytes (aliases input)
+
+	payload []byte
+}
+
+// LayerType implements SerializableLayer.
+func (*Extension) LayerType() LayerType { return LayerTypeIPv6Extension }
+
+// Payload returns the bytes following this extension header.
+func (e *Extension) Payload() []byte { return e.payload }
+
+// DecodeFromBytes parses one extension header of the given protocol.
+func (e *Extension) DecodeFromBytes(proto IPProtocol, data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("extension header %v: %w", proto, ErrTruncated)
+	}
+	e.Protocol = proto
+	e.NextHeader = IPProtocol(data[0])
+	var size int
+	if proto == ProtoFragment {
+		size = 8 // fragment headers have fixed size and no length field
+	} else {
+		size = int(data[1])*8 + 8
+	}
+	if size > len(data) {
+		return fmt.Errorf("extension header %v size %d: %w", proto, size, ErrTruncated)
+	}
+	e.Contents = data[:size]
+	e.payload = data[size:]
+	return nil
+}
+
+// SerializeTo prepends the extension header verbatim from Contents,
+// patching the next-header byte.
+func (e *Extension) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if len(e.Contents) < 8 || len(e.Contents)%8 != 0 {
+		return fmt.Errorf("extension serialize: contents length %d: %w", len(e.Contents), ErrBadHeaderSize)
+	}
+	h := b.Prepend(len(e.Contents))
+	copy(h, e.Contents)
+	h[0] = uint8(e.NextHeader)
+	if e.Protocol != ProtoFragment {
+		h[1] = uint8(len(e.Contents)/8 - 1)
+	}
+	return nil
+}
+
+// NewPadExtension builds a minimal 8-byte extension header of the given
+// protocol filled with PadN options; useful for simulating scanners
+// that add extension headers to evade naive filters.
+func NewPadExtension(proto, next IPProtocol) *Extension {
+	// 2 header bytes + PadN option (type 1, len 4) + 4 zero bytes.
+	c := []byte{uint8(next), 0, 1, 4, 0, 0, 0, 0}
+	return &Extension{Protocol: proto, NextHeader: next, Contents: c}
+}

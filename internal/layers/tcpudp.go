@@ -1,0 +1,213 @@
+package layers
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// TCPFlags is the 8-bit TCP flags field.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+	FlagECE
+	FlagCWR
+)
+
+// String renders set flags, e.g. "SYN|ACK".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"},
+		{FlagACK, "ACK"}, {FlagURG, "URG"}, {FlagECE, "ECE"}, {FlagCWR, "CWR"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// TCP is a decoded TCP header. Options are kept as raw bytes aliasing
+// the input.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	Flags            TCPFlags
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+
+	payload []byte
+	netSrc  netip.Addr
+	netDst  netip.Addr
+	hasNet  bool
+}
+
+const tcpMinHeaderLen = 20
+
+// LayerType implements SerializableLayer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// Payload returns the TCP payload bytes.
+func (t *TCP) Payload() []byte { return t.payload }
+
+// SetNetworkLayerForChecksum provides the IPv6 addresses used in the
+// pseudo-header when serializing with ComputeChecksums.
+func (t *TCP) SetNetworkLayerForChecksum(ip *IPv6) {
+	t.netSrc, t.netDst, t.hasNet = ip.Src, ip.Dst, true
+}
+
+// DecodeFromBytes parses a TCP header.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < tcpMinHeaderLen {
+		return fmt.Errorf("tcp header: %w", ErrTruncated)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hlen := int(t.DataOffset) * 4
+	if hlen < tcpMinHeaderLen || hlen > len(data) {
+		return fmt.Errorf("tcp data offset %d: %w", t.DataOffset, ErrBadHeaderSize)
+	}
+	t.Flags = TCPFlags(data[13])
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = data[tcpMinHeaderLen:hlen]
+	t.payload = data[hlen:]
+	return nil
+}
+
+// SerializeTo prepends the TCP header. Options must be a multiple of 4
+// bytes. With ComputeChecksums set, SetNetworkLayerForChecksum must
+// have been called.
+func (t *TCP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if len(t.Options)%4 != 0 {
+		return fmt.Errorf("tcp serialize: options length %d: %w", len(t.Options), ErrBadHeaderSize)
+	}
+	hlen := tcpMinHeaderLen + len(t.Options)
+	if opts.FixLengths {
+		t.DataOffset = uint8(hlen / 4)
+	}
+	h := b.Prepend(hlen)
+	binary.BigEndian.PutUint16(h[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], t.Seq)
+	binary.BigEndian.PutUint32(h[8:12], t.Ack)
+	h[12] = t.DataOffset << 4
+	h[13] = uint8(t.Flags)
+	binary.BigEndian.PutUint16(h[14:16], t.Window)
+	binary.BigEndian.PutUint16(h[16:18], 0)
+	binary.BigEndian.PutUint16(h[18:20], t.Urgent)
+	copy(h[tcpMinHeaderLen:], t.Options)
+	if opts.ComputeChecksums {
+		if !t.hasNet {
+			return fmt.Errorf("tcp serialize: checksum requested without network layer")
+		}
+		t.Checksum = transportChecksum(t.netSrc, t.netDst, ProtoTCP, b.Bytes())
+	}
+	binary.BigEndian.PutUint16(h[16:18], t.Checksum)
+	return nil
+}
+
+// VerifyChecksum recomputes the checksum over the given full segment
+// (header+payload) and reports whether it is consistent.
+func (t *TCP) VerifyChecksum(src, dst netip.Addr, segment []byte) bool {
+	return transportChecksum(src, dst, ProtoTCP, segment) == 0
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	payload []byte
+	netSrc  netip.Addr
+	netDst  netip.Addr
+	hasNet  bool
+}
+
+const udpHeaderLen = 8
+
+// LayerType implements SerializableLayer.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// Payload returns the UDP payload bytes.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// SetNetworkLayerForChecksum provides the IPv6 addresses used in the
+// pseudo-header when serializing with ComputeChecksums.
+func (u *UDP) SetNetworkLayerForChecksum(ip *IPv6) {
+	u.netSrc, u.netDst, u.hasNet = ip.Src, ip.Dst, true
+}
+
+// DecodeFromBytes parses a UDP header.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < udpHeaderLen {
+		return fmt.Errorf("udp header: %w", ErrTruncated)
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < udpHeaderLen || int(u.Length) > len(data) {
+		return fmt.Errorf("udp length %d: %w", u.Length, ErrBadHeaderSize)
+	}
+	u.payload = data[udpHeaderLen:u.Length]
+	return nil
+}
+
+// SerializeTo prepends the UDP header.
+func (u *UDP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if opts.FixLengths {
+		if b.Len()+udpHeaderLen > 0xFFFF {
+			return fmt.Errorf("udp serialize: payload too large")
+		}
+		u.Length = uint16(b.Len() + udpHeaderLen)
+	}
+	h := b.Prepend(udpHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:6], u.Length)
+	binary.BigEndian.PutUint16(h[6:8], 0)
+	if opts.ComputeChecksums {
+		if !u.hasNet {
+			return fmt.Errorf("udp serialize: checksum requested without network layer")
+		}
+		u.Checksum = transportChecksum(u.netSrc, u.netDst, ProtoUDP, b.Bytes())
+		if u.Checksum == 0 {
+			u.Checksum = 0xFFFF // RFC 8200: zero means "no checksum", transmit as all-ones
+		}
+	}
+	binary.BigEndian.PutUint16(h[6:8], u.Checksum)
+	return nil
+}
+
+// VerifyChecksum recomputes the checksum over the given full datagram
+// and reports whether it is consistent.
+func (u *UDP) VerifyChecksum(src, dst netip.Addr, segment []byte) bool {
+	return transportChecksum(src, dst, ProtoUDP, segment) == 0
+}

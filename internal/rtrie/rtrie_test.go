@@ -1,0 +1,199 @@
+package rtrie
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"v6scan/internal/netaddr6"
+)
+
+func mustP(s string) netip.Prefix { return netaddr6.MustPrefix(s) }
+func mustA(s string) netip.Addr   { return netaddr6.MustAddr(s) }
+
+func TestEmptyTrie(t *testing.T) {
+	var tr Trie[int]
+	if tr.Len() != 0 {
+		t.Error("empty trie has nonzero len")
+	}
+	if _, _, ok := tr.Lookup(mustA("2001:db8::1")); ok {
+		t.Error("lookup on empty trie matched")
+	}
+	if _, ok := tr.Get(mustP("2001:db8::/32")); ok {
+		t.Error("get on empty trie matched")
+	}
+}
+
+func TestInsertLookupLongestMatch(t *testing.T) {
+	tr := New[string]()
+	for p, v := range map[string]string{
+		"2001:db8::/32":     "allocation",
+		"2001:db8:5::/48":   "site",
+		"2001:db8:5:1::/64": "subnet",
+	} {
+		if err := tr.Insert(mustP(p), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		addr string
+		want string
+		plen int
+	}{
+		{"2001:db8:5:1::42", "subnet", 64},
+		{"2001:db8:5:2::42", "site", 48},
+		{"2001:db8:6::42", "allocation", 32},
+	}
+	for _, tt := range tests {
+		v, p, ok := tr.Lookup(mustA(tt.addr))
+		if !ok || v != tt.want || p.Bits() != tt.plen {
+			t.Errorf("Lookup(%s) = %v,%v,%v; want %s at /%d", tt.addr, v, p, ok, tt.want, tt.plen)
+		}
+	}
+	if _, _, ok := tr.Lookup(mustA("2001:db9::1")); ok {
+		t.Error("address outside all prefixes matched")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New[int]()
+	p := mustP("2001:db8::/48")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	if v, ok := tr.Get(p); !ok || v != 2 {
+		t.Errorf("Get = %d,%v", v, ok)
+	}
+}
+
+func TestInsertRejectsIPv4(t *testing.T) {
+	tr := New[int]()
+	if err := tr.Insert(netip.MustParsePrefix("10.0.0.0/8"), 1); err == nil {
+		t.Error("IPv4 prefix accepted")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mustP("::/0"), "default")
+	tr.Insert(mustP("2001:db8::/32"), "doc")
+	if v, _, ok := tr.Lookup(mustA("fe80::1")); !ok || v != "default" {
+		t.Errorf("default route: %v %v", v, ok)
+	}
+	if v, _, ok := tr.Lookup(mustA("2001:db8::1")); !ok || v != "doc" {
+		t.Errorf("more specific beats default: %v %v", v, ok)
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mustP("2001:db8::1/128"), 7)
+	if v, p, ok := tr.Lookup(mustA("2001:db8::1")); !ok || v != 7 || p.Bits() != 128 {
+		t.Errorf("host route lookup: %v %v %v", v, p, ok)
+	}
+	if _, _, ok := tr.Lookup(mustA("2001:db8::2")); ok {
+		t.Error("host route over-matched")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int]()
+	p32, p48 := mustP("2001:db8::/32"), mustP("2001:db8:1::/48")
+	tr.Insert(p32, 1)
+	tr.Insert(p48, 2)
+	if !tr.Delete(p48) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(p48) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Lookup now falls back to the /32.
+	if v, _, ok := tr.Lookup(mustA("2001:db8:1::5")); !ok || v != 1 {
+		t.Errorf("fallback after delete: %v %v", v, ok)
+	}
+}
+
+func TestWalkAndPrefixes(t *testing.T) {
+	tr := New[int]()
+	ins := []string{"2001:db8::/32", "2001:db8:1::/48", "2001:db7::/32", "::/0"}
+	for i, s := range ins {
+		tr.Insert(mustP(s), i)
+	}
+	got := tr.Prefixes()
+	if len(got) != len(ins) {
+		t.Fatalf("Prefixes len = %d", len(got))
+	}
+	want := []string{"::/0", "2001:db7::/32", "2001:db8::/32", "2001:db8:1::/48"}
+	for i, w := range want {
+		if got[i] != mustP(w) {
+			t.Errorf("Prefixes[%d] = %s, want %s", i, got[i], w)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Walk(func(netip.Prefix, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("walk early stop visited %d", count)
+	}
+}
+
+func TestLookupMatchesLinearScanQuick(t *testing.T) {
+	// Property: trie longest-prefix match agrees with a brute-force scan
+	// over the inserted prefixes.
+	rng := rand.New(rand.NewSource(42))
+	tr := New[int]()
+	var prefixes []netip.Prefix
+	base := mustP("2001:db8::/32")
+	for i := 0; i < 300; i++ {
+		plen := 32 + rng.Intn(97) // 32..128
+		p := netaddr6.RandomSubprefix(base, plen, rng)
+		if err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+		prefixes = append(prefixes, p)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		addr := netaddr6.RandomAddrIn(base, r)
+		// Occasionally test near prefix boundaries.
+		if r.Intn(2) == 0 {
+			p := prefixes[r.Intn(len(prefixes))]
+			addr = netaddr6.RandomAddrIn(p, r)
+		}
+		bestLen := -1
+		for _, p := range prefixes {
+			if p.Contains(addr) && p.Bits() > bestLen {
+				bestLen = p.Bits()
+			}
+		}
+		_, got, ok := tr.Lookup(addr)
+		if bestLen < 0 {
+			return !ok
+		}
+		return ok && got.Bits() == bestLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetVsLookupDistinction(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mustP("2001:db8::/32"), 1)
+	// Get requires exact prefix; a more specific prefix is absent.
+	if _, ok := tr.Get(mustP("2001:db8::/48")); ok {
+		t.Error("Get matched non-inserted prefix")
+	}
+	if v, ok := tr.Get(mustP("2001:db8::/32")); !ok || v != 1 {
+		t.Error("Get missed inserted prefix")
+	}
+}

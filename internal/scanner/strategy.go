@@ -1,0 +1,213 @@
+// Package scanner simulates the scan actors the paper observes. Each
+// actor combines four behavioural dimensions the paper identifies:
+//
+//   - source addressing: a single /128, a handful of addresses in one
+//     /64, per-packet variation of low source bits (AS #9), or sources
+//     spread across hundreds of /48s inside a /32 allocation (AS #18);
+//   - target selection: DNS-exposed telescope addresses (hitlist-style),
+//     mixtures including non-DNS addresses, or exposed→hidden pair
+//     sweeps (the "nearby" discovery pattern of Section 3.3);
+//   - port strategy: a single service, a fixed multi-port list, or wide
+//     port ranges (AS #3 probes 45k ports);
+//   - temporal shape: continuous streams, daily burst slots rotating
+//     across source addresses, or one-shot episodes.
+//
+// The census in census.go wires concrete actors mirroring Table 2.
+package scanner
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"v6scan/internal/netaddr6"
+)
+
+// SourcePlan yields the source address for a burst or packet.
+// Implementations are deterministic functions of (day index, slot,
+// packet index, rng) so simulations replay identically under a seed.
+type SourcePlan interface {
+	// BurstSource returns the source used for a whole burst.
+	BurstSource(dayIdx, slot int, rng *rand.Rand) netip.Addr
+	// PacketSource returns the source for one packet within a burst,
+	// defaulting to the burst source for single-address strategies.
+	PacketSource(burstSrc netip.Addr, rng *rand.Rand) netip.Addr
+}
+
+// SingleSource always emits from one address (AS #1: all 839M packets
+// from a single IPv6 address).
+type SingleSource struct{ Addr netip.Addr }
+
+// BurstSource implements SourcePlan.
+func (s SingleSource) BurstSource(_, _ int, _ *rand.Rand) netip.Addr { return s.Addr }
+
+// PacketSource implements SourcePlan.
+func (s SingleSource) PacketSource(b netip.Addr, _ *rand.Rand) netip.Addr { return b }
+
+// RotatingSources cycles a fixed address list by slot: slot k of day d
+// uses address (d*slotsPerDay+k) mod len. This produces the
+// interleaving the paper observes where /128 sessions are short and
+// separated while the covering /64 session is continuous.
+type RotatingSources struct {
+	Addrs       []netip.Addr
+	SlotsPerDay int
+}
+
+// BurstSource implements SourcePlan.
+func (s RotatingSources) BurstSource(dayIdx, slot int, _ *rand.Rand) netip.Addr {
+	i := (dayIdx*s.SlotsPerDay + slot) % len(s.Addrs)
+	return s.Addrs[i]
+}
+
+// PacketSource implements SourcePlan.
+func (s RotatingSources) PacketSource(b netip.Addr, _ *rand.Rand) netip.Addr { return b }
+
+// VaryLowBits emits every packet from a base address with its low bits
+// randomized over a bounded variant set — the AS #9 pattern ("carrying
+// out IPv6 scans and varying the lowest 7–9 bits in the source IP
+// addresses").
+type VaryLowBits struct {
+	Bases    []netip.Addr // one or more /64 bases (AS #9 used two /64s)
+	Variants int          // distinct low-bit values used per base
+}
+
+// BurstSource implements SourcePlan; the burst source is nominal since
+// every packet re-picks its own source.
+func (s VaryLowBits) BurstSource(dayIdx, slot int, _ *rand.Rand) netip.Addr {
+	return s.Bases[(dayIdx+slot)%len(s.Bases)]
+}
+
+// PacketSource implements SourcePlan: a random base with randomized low
+// bits, so all len(Bases)*Variants /128s stay simultaneously active and
+// each accrues destinations continuously (how the real AS #9 entity's
+// hundreds of /128s all crossed the scan threshold). Variants must be a
+// power of two.
+func (s VaryLowBits) PacketSource(_ netip.Addr, rng *rand.Rand) netip.Addr {
+	b := s.Bases[rng.Intn(len(s.Bases))]
+	v := uint64(rng.Intn(s.Variants))
+	return netaddr6.WithIID(b, netaddr6.IID(b)&^uint64(s.Variants-1)|v)
+}
+
+// TargetPlan yields destination addresses.
+type TargetPlan interface {
+	Target(rng *rand.Rand) netip.Addr
+}
+
+// PoolTargets samples uniformly from a fixed pool. Pools mixing
+// DNS-exposed and hidden telescope addresses reproduce the paper's
+// in-DNS/not-in-DNS target provenance distributions.
+type PoolTargets struct{ Pool []netip.Addr }
+
+// Target implements TargetPlan.
+func (t PoolTargets) Target(rng *rand.Rand) netip.Addr {
+	return t.Pool[rng.Intn(len(t.Pool))]
+}
+
+// PairSweep probes machine pairs in order: the DNS-exposed address
+// first, then its non-DNS sibling. A scanner behaving this way explains
+// the paper's finding that for some sources every not-in-DNS target had
+// a previous nearby in-DNS probe.
+type PairSweep struct {
+	Pairs [][2]netip.Addr // [exposed, hidden]
+	pos   int
+	half  int
+}
+
+// Target implements TargetPlan: exposed, hidden, exposed, hidden, ...
+func (t *PairSweep) Target(_ *rand.Rand) netip.Addr {
+	p := t.Pairs[t.pos%len(t.Pairs)]
+	a := p[t.half]
+	t.half++
+	if t.half == 2 {
+		t.half = 0
+		t.pos++
+	}
+	return a
+}
+
+// MixPools samples from an exposed pool with probability 1-HiddenShare
+// and from a hidden pool otherwise.
+type MixPools struct {
+	Exposed     []netip.Addr
+	Hidden      []netip.Addr
+	HiddenShare float64
+}
+
+// Target implements TargetPlan.
+func (t MixPools) Target(rng *rand.Rand) netip.Addr {
+	if len(t.Hidden) > 0 && rng.Float64() < t.HiddenShare {
+		return t.Hidden[rng.Intn(len(t.Hidden))]
+	}
+	return t.Exposed[rng.Intn(len(t.Exposed))]
+}
+
+// PortPlan yields destination ports for a burst.
+type PortPlan interface {
+	// BurstPorts returns the ports targeted within one burst. Callers
+	// must not retain the slice across calls.
+	BurstPorts(dayIdx, slot int, rng *rand.Rand) []uint16
+}
+
+// SinglePort targets one service in every burst (AS #18: TCP/22 only).
+type SinglePort struct{ Port uint16 }
+
+// BurstPorts implements PortPlan.
+func (p SinglePort) BurstPorts(_, _ int, _ *rand.Rand) []uint16 { return []uint16{p.Port} }
+
+// PortList targets a fixed multi-port list every burst.
+type PortList struct{ Ports []uint16 }
+
+// BurstPorts implements PortPlan.
+func (p PortList) BurstPorts(_, _ int, _ *rand.Rand) []uint16 { return p.Ports }
+
+// ProgressivePorts targets a single port per burst, advancing through a
+// list across bursts — the "distinct scanning episodes per port" entity
+// of Appendix A.3 that inflates single-port scan counts at /128.
+type ProgressivePorts struct {
+	Ports       []uint16
+	SlotsPerDay int
+	buf         [1]uint16
+}
+
+// BurstPorts implements PortPlan.
+func (p *ProgressivePorts) BurstPorts(dayIdx, slot int, _ *rand.Rand) []uint16 {
+	i := (dayIdx*p.SlotsPerDay + slot) % len(p.Ports)
+	p.buf[0] = p.Ports[i]
+	return p.buf[:]
+}
+
+// WidePortRange samples K ports uniformly from [Lo, Hi] per burst
+// (AS #3 targets almost the entire TCP port space).
+type WidePortRange struct {
+	Lo, Hi   uint16
+	PerBurst int
+	buf      []uint16
+}
+
+// BurstPorts implements PortPlan.
+func (p *WidePortRange) BurstPorts(_, _ int, rng *rand.Rand) []uint16 {
+	if cap(p.buf) < p.PerBurst {
+		p.buf = make([]uint16, p.PerBurst)
+	}
+	p.buf = p.buf[:p.PerBurst]
+	span := int(p.Hi) - int(p.Lo) + 1
+	for i := range p.buf {
+		p.buf[i] = p.Lo + uint16(rng.Intn(span))
+	}
+	return p.buf
+}
+
+// SwitchPorts changes plan at a fixed day index — AS #1 scanned ≈444
+// ports continuously, then switched to a handful of ports in May 2021.
+type SwitchPorts struct {
+	Before    PortPlan
+	After     PortPlan
+	SwitchDay int // day index at which After takes over
+}
+
+// BurstPorts implements PortPlan.
+func (p SwitchPorts) BurstPorts(dayIdx, slot int, rng *rand.Rand) []uint16 {
+	if dayIdx < p.SwitchDay {
+		return p.Before.BurstPorts(dayIdx, slot, rng)
+	}
+	return p.After.BurstPorts(dayIdx, slot, rng)
+}

@@ -1,0 +1,148 @@
+// Package sim drives end-to-end CDN experiments: it wires a telescope,
+// the Table-2 scan-actor census, and the artifact population into one
+// day-by-day record stream, applies the collection policy and the
+// 5-duplicate artifact filter, and feeds the survivors to the
+// multi-aggregation scan detector. Every table and figure of the
+// paper's CDN sections is computed from the outputs of a Run.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"v6scan/internal/artifacts"
+	"v6scan/internal/asdb"
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/scanner"
+	"v6scan/internal/telescope"
+)
+
+// Config assembles one experiment.
+type Config struct {
+	Telescope telescope.Config
+	Census    scanner.CensusConfig
+	Artifacts artifacts.Config
+	Detector  core.Config
+	// RawTap, when set, receives every record before policy filtering
+	// (Figure 1 consumes the pre-filter view).
+	RawTap func(firewall.Record)
+	// FilteredTap, when set, receives every record surviving the
+	// artifact filter, in detector order.
+	FilteredTap func(firewall.Record)
+}
+
+// DefaultConfig returns a full-window, laptop-scale experiment.
+func DefaultConfig() Config {
+	det := core.DefaultConfig()
+	det.WeekEpoch = scanner.DefaultStart
+	return Config{
+		Telescope: telescope.DefaultConfig(),
+		Census:    scanner.DefaultCensusConfig(),
+		Artifacts: artifacts.DefaultConfig(),
+		Detector:  det,
+	}
+}
+
+// Result is everything a Run produces.
+type Result struct {
+	Telescope *telescope.Telescope
+	DB        *asdb.DB
+	Census    *scanner.Census
+	Detector  *core.Detector
+	Filter    firewall.FilterStats
+
+	// RecordsGenerated counts records before the collection policy.
+	RecordsGenerated uint64
+	// RecordsLogged counts records admitted by the collection policy.
+	RecordsLogged uint64
+	// RecordsDetected counts records that reached the detector.
+	RecordsDetected uint64
+}
+
+// Scans returns the detected scans at a level.
+func (r *Result) Scans(level netaddr6.AggLevel) []core.Scan {
+	return r.Detector.Scans(level)
+}
+
+// Run executes the experiment. It is deterministic under the config's
+// seeds.
+func Run(cfg Config) (*Result, error) {
+	db := asdb.New()
+	tele, err := telescope.New(cfg.Telescope, db)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	census, err := scanner.BuildCensus(cfg.Census, tele, db)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	arts := artifacts.New(cfg.Artifacts, tele, db)
+	if cfg.Detector.WeekEpoch.IsZero() {
+		cfg.Detector.WeekEpoch = cfg.Census.Start
+	}
+	det := core.NewDetector(cfg.Detector)
+	policy := firewall.DefaultCollectPolicy()
+	filter := firewall.NewArtifactFilter()
+
+	res := &Result{Telescope: tele, DB: db, Census: census, Detector: det}
+
+	var dayBuf []firewall.Record
+	process := func(recs []firewall.Record) error {
+		for _, r := range recs {
+			res.RecordsDetected++
+			if cfg.FilteredTap != nil {
+				cfg.FilteredTap(r)
+			}
+			if err := det.Process(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for day := cfg.Census.Start; day.Before(cfg.Census.End); day = day.Add(24 * time.Hour) {
+		dayBuf = dayBuf[:0]
+		collect := func(r firewall.Record) {
+			res.RecordsGenerated++
+			if cfg.RawTap != nil {
+				cfg.RawTap(r)
+			}
+			if !policy.Admit(r) {
+				return
+			}
+			res.RecordsLogged++
+			dayBuf = append(dayBuf, r)
+		}
+		census.EmitDay(day, collect)
+		arts.EmitDay(day, collect)
+		sort.SliceStable(dayBuf, func(i, j int) bool { return dayBuf[i].Time.Before(dayBuf[j].Time) })
+		for _, r := range dayBuf {
+			if out := filter.Push(r); len(out) > 0 {
+				if err := process(out); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := process(filter.Close()); err != nil {
+		return nil, err
+	}
+	det.Finish()
+	res.Filter = filter.Stats()
+	return res, nil
+}
+
+// QuickConfig returns a reduced-window configuration for tests: a
+// telescope of the given size and a census covering [start, start+days).
+func QuickConfig(machines, ases int, start time.Time, days int) Config {
+	cfg := DefaultConfig()
+	cfg.Telescope.Machines = machines
+	cfg.Telescope.ASes = ases
+	cfg.Census.Start = start
+	cfg.Census.End = start.Add(time.Duration(days) * 24 * time.Hour)
+	cfg.Detector.WeekEpoch = start
+	return cfg
+}

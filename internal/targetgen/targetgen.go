@@ -1,0 +1,200 @@
+// Package targetgen implements the target-generation techniques the
+// paper's related work surveys (Entropy/IP, 6Gen and successors) in a
+// simplified, measurable form. The paper's discussion warns that
+// large-scale IPv6 scanning stays rare only while "cheaply" finding
+// destination addresses stays hard, and names target-generation
+// advances as the factor most likely to change that; this package
+// makes the threat model concrete and lets experiments quantify
+// hit rates of learned generation versus random probing.
+//
+// Two strategies are provided:
+//
+//   - Model: a per-nybble frequency model trained on a seed set
+//     (hitlist-style). Nybbles with low entropy are reproduced
+//     verbatim; high-entropy nybbles are sampled from the learned
+//     distribution. This captures the structure Entropy/IP exploits.
+//   - NearbyExpansion: enumerate addresses adjacent to a known-active
+//     seed — the pattern the paper infers for scanners discovering
+//     non-DNS addresses next to DNS-exposed ones (Section 3.3).
+package targetgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"v6scan/internal/netaddr6"
+)
+
+// nybbles is the number of 4-bit positions in an IPv6 address.
+const nybbles = 32
+
+// Model is a per-nybble frequency model of IPv6 addresses.
+type Model struct {
+	counts [nybbles][16]uint64
+	total  uint64
+}
+
+// Train builds a model from seed addresses (e.g. a hitlist or the
+// DNS-exposed addresses a scanner harvested).
+func Train(seeds []netip.Addr) (*Model, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("targetgen: empty seed set")
+	}
+	m := &Model{}
+	for _, a := range seeds {
+		if !netaddr6.IsIPv6(a) {
+			return nil, fmt.Errorf("targetgen: seed %v is not IPv6", a)
+		}
+		b := a.As16()
+		for i := 0; i < nybbles; i++ {
+			m.counts[i][nybbleAt(b, i)]++
+		}
+		m.total++
+	}
+	return m, nil
+}
+
+func nybbleAt(b [16]byte, i int) int {
+	v := b[i/2]
+	if i%2 == 0 {
+		return int(v >> 4)
+	}
+	return int(v & 0xF)
+}
+
+func setNybble(b *[16]byte, i, v int) {
+	if i%2 == 0 {
+		b[i/2] = b[i/2]&0x0F | byte(v)<<4
+	} else {
+		b[i/2] = b[i/2]&0xF0 | byte(v)
+	}
+}
+
+// Entropy returns the per-nybble Shannon entropy profile in bits
+// (0 = constant nybble, 4 = uniform). This is the Entropy/IP view of
+// the seed population's structure.
+func (m *Model) Entropy() [nybbles]float64 {
+	var out [nybbles]float64
+	for i := 0; i < nybbles; i++ {
+		var h float64
+		for _, c := range m.counts[i] {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / float64(m.total)
+			h -= p * math.Log2(p)
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// Generate samples n candidate addresses from the model: each nybble
+// drawn independently from its learned distribution. Duplicates are
+// removed; the result may be shorter than n for very structured
+// models.
+func (m *Model) Generate(n int, rng *rand.Rand) []netip.Addr {
+	seen := make(map[netip.Addr]struct{}, n)
+	out := make([]netip.Addr, 0, n)
+	// Cap attempts so fully-constant models terminate.
+	for attempts := 0; len(out) < n && attempts < 4*n+16; attempts++ {
+		var b [16]byte
+		for i := 0; i < nybbles; i++ {
+			setNybble(&b, i, m.sampleNybble(i, rng))
+		}
+		a := netip.AddrFrom16(b)
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}
+
+func (m *Model) sampleNybble(i int, rng *rand.Rand) int {
+	x := rng.Uint64() % m.total
+	var cum uint64
+	for v, c := range m.counts[i] {
+		cum += c
+		if x < cum {
+			return v
+		}
+	}
+	return 0
+}
+
+// TopPrefixes returns the most common /plen prefixes of the seed
+// population — the "dense regions" 6Gen-style generators probe first.
+// It recomputes from a fresh seed pass, so callers keep their seeds.
+func TopPrefixes(seeds []netip.Addr, plen, n int) []netip.Prefix {
+	counts := make(map[netip.Prefix]int)
+	for _, a := range seeds {
+		p, err := a.Prefix(plen)
+		if err != nil {
+			continue
+		}
+		counts[p]++
+	}
+	out := make([]netip.Prefix, 0, len(counts))
+	for p := range counts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i].Addr().Compare(out[j].Addr()) < 0
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// NearbyExpansion enumerates the addresses sharing the seed's /plen
+// (excluding the seed itself), up to max addresses — the strategy the
+// paper hypothesizes for discovering not-in-DNS telescope addresses
+// near DNS-exposed ones ("nearby" at /124…/112).
+func NearbyExpansion(seed netip.Addr, plen, max int) []netip.Addr {
+	if plen < 0 || plen > 128 {
+		return nil
+	}
+	span := 128 - plen
+	var total uint64
+	if span >= 63 {
+		total = math.MaxUint64
+	} else {
+		total = uint64(1) << span
+	}
+	base := netaddr6.ToU128(seed).Mask(plen)
+	out := make([]netip.Addr, 0, max)
+	for i := uint64(0); i < total && len(out) < max; i++ {
+		a := base.Add(i).ToAddr()
+		if a == seed {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// HitRate measures how many generated candidates are contained in a
+// target population — the figure of merit for a target-generation
+// algorithm (and the quantity the paper argues keeps IPv6 scanning
+// expensive when it is low).
+func HitRate(candidates []netip.Addr, population map[netip.Addr]struct{}) float64 {
+	if len(candidates) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, a := range candidates {
+		if _, ok := population[a]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(candidates))
+}

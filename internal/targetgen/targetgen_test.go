@@ -1,0 +1,184 @@
+package targetgen
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"v6scan/internal/netaddr6"
+)
+
+// structuredSeeds builds a hitlist-like population: low-HW IIDs inside
+// a handful of /48s.
+func structuredSeeds(n int, rng *rand.Rand) []netip.Addr {
+	base := netaddr6.MustPrefix("2001:db8::/32")
+	out := make([]netip.Addr, 0, n)
+	seen := map[netip.Addr]bool{}
+	for len(out) < n {
+		p48 := netaddr6.NthSubprefix(base, 48, uint64(rng.Intn(4)))
+		p64 := netaddr6.NthSubprefix(p48, 64, uint64(rng.Intn(256)))
+		a := netaddr6.LowHammingAddrIn(p64, 2, rng)
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("empty seed set accepted")
+	}
+	if _, err := Train([]netip.Addr{netip.MustParseAddr("10.0.0.1")}); err == nil {
+		t.Error("IPv4 seed accepted")
+	}
+}
+
+func TestEntropyProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := Train(structuredSeeds(2000, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Entropy()
+	// The /32 prefix nybbles are constant → zero entropy.
+	for i := 0; i < 8; i++ {
+		if e[i] != 0 {
+			t.Errorf("prefix nybble %d entropy %.2f, want 0", i, e[i])
+		}
+	}
+	// The /64-selection nybbles vary → positive entropy.
+	var mid float64
+	for i := 12; i < 16; i++ {
+		mid += e[i]
+	}
+	if mid == 0 {
+		t.Error("subnet nybbles have zero entropy")
+	}
+	// IID tail is structured → far below the 4-bit maximum.
+	for i := 16; i < 30; i++ {
+		if e[i] > 2 {
+			t.Errorf("IID nybble %d entropy %.2f, want structured", i, e[i])
+		}
+	}
+}
+
+func TestGenerateStaysInLearnedSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seeds := structuredSeeds(2000, rng)
+	m, err := Train(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := netaddr6.MustPrefix("2001:db8::/32")
+	gen := m.Generate(500, rng)
+	if len(gen) < 400 {
+		t.Fatalf("generated only %d", len(gen))
+	}
+	for _, a := range gen {
+		if !space.Contains(a) {
+			t.Fatalf("candidate %v escaped the learned /32", a)
+		}
+	}
+	// Generated IIDs inherit the structure: mean HW far below random.
+	sum := 0
+	for _, a := range gen {
+		sum += netaddr6.HammingWeightIID(a)
+	}
+	if mean := float64(sum) / float64(len(gen)); mean > 8 {
+		t.Errorf("generated mean IID HW %.1f, want structured", mean)
+	}
+}
+
+func TestGenerateBeatsRandomHitRate(t *testing.T) {
+	// The package's reason to exist: learned generation must hit a
+	// structured population orders of magnitude better than random
+	// probing of the covering /32.
+	rng := rand.New(rand.NewSource(3))
+	seeds := structuredSeeds(4000, rng)
+	population := make(map[netip.Addr]struct{}, len(seeds))
+	for _, a := range seeds {
+		population[a] = struct{}{}
+	}
+	m, err := Train(seeds[:2000]) // train on half
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := m.Generate(3000, rng)
+	random := make([]netip.Addr, 3000)
+	for i := range random {
+		random[i] = netaddr6.RandomAddrIn(netaddr6.MustPrefix("2001:db8::/32"), rng)
+	}
+	hrLearned := HitRate(learned, population)
+	hrRandom := HitRate(random, population)
+	if hrRandom > 0 {
+		t.Logf("random got lucky: %.6f", hrRandom)
+	}
+	if hrLearned == 0 {
+		t.Fatal("learned generation hit nothing")
+	}
+	if hrLearned <= 100*hrRandom {
+		t.Errorf("learned %.4f vs random %.6f: want ≫", hrLearned, hrRandom)
+	}
+}
+
+func TestGenerateConstantModelTerminates(t *testing.T) {
+	m, err := Train([]netip.Addr{netaddr6.MustAddr("2001:db8::1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	out := m.Generate(10, rng)
+	if len(out) != 1 || out[0] != netaddr6.MustAddr("2001:db8::1") {
+		t.Errorf("constant model generated %v", out)
+	}
+}
+
+func TestTopPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seeds := structuredSeeds(1000, rng)
+	top := TopPrefixes(seeds, 48, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d prefixes", len(top))
+	}
+	base := netaddr6.MustPrefix("2001:db8::/32")
+	for _, p := range top {
+		if p.Bits() != 48 || !netaddr6.PrefixContains(base, p) {
+			t.Fatalf("bad prefix %v", p)
+		}
+	}
+}
+
+func TestNearbyExpansion(t *testing.T) {
+	seed := netaddr6.MustAddr("2001:db8::10")
+	got := NearbyExpansion(seed, 124, 100)
+	if len(got) != 15 {
+		t.Fatalf("/124 expansion size %d, want 15", len(got))
+	}
+	for _, a := range got {
+		if a == seed {
+			t.Fatal("seed included in expansion")
+		}
+		if !netaddr6.SameSlash(a, seed, 124) {
+			t.Fatalf("%v outside the /124", a)
+		}
+	}
+	// max caps the enumeration.
+	if n := len(NearbyExpansion(seed, 112, 50)); n != 50 {
+		t.Errorf("capped expansion size %d", n)
+	}
+	if NearbyExpansion(seed, 130, 10) != nil {
+		t.Error("invalid plen accepted")
+	}
+}
+
+func TestHitRateEdges(t *testing.T) {
+	if HitRate(nil, nil) != 0 {
+		t.Error("empty candidates")
+	}
+	pop := map[netip.Addr]struct{}{netaddr6.MustAddr("2001:db8::1"): {}}
+	if HitRate([]netip.Addr{netaddr6.MustAddr("2001:db8::1")}, pop) != 1 {
+		t.Error("full hit rate")
+	}
+}

@@ -1,0 +1,272 @@
+// Package v6scan is a library for detecting and characterizing
+// large-scale IPv6 scanning, reproducing the methodology of Richter,
+// Gasser & Berger, "Illuminating Large-Scale IPv6 Scanning in the
+// Internet" (IMC 2022).
+//
+// The package is a facade over the internal subsystems:
+//
+//   - scan detection with multi-level source aggregation (the paper's
+//     central methodological contribution): NewDetector / Detector;
+//   - the MAWI-style detector (extended Fukuda–Heidemann definition):
+//     NewMAWIDetector;
+//   - the CDN firewall-log record schema, binary codec, collection
+//     policy and 5-duplicate artifact filter: Record, ReadLog,
+//     WriteLog, NewArtifactFilter;
+//   - packet decoding and classic pcap I/O for feeding captures into
+//     detection: RecordsFromPcap;
+//   - simulation of the paper's two vantage points and its scan-actor
+//     census, for experimentation and regression of the published
+//     results: RunCDNExperiment, NewMAWISimulator;
+//   - analysis builders that regenerate every table and figure of the
+//     paper: the Build* functions.
+//
+// Quickstart:
+//
+//	det := v6scan.NewDetector(v6scan.DefaultDetectorConfig())
+//	for _, rec := range records {        // time-ordered
+//	    if err := det.Process(rec); err != nil { ... }
+//	}
+//	det.Finish()
+//	for _, scan := range det.Scans(v6scan.Agg64) {
+//	    fmt.Println(scan.Source, scan.Packets, scan.Dsts)
+//	}
+package v6scan
+
+import (
+	"io"
+
+	"v6scan/internal/analysis"
+	"v6scan/internal/artifacts"
+	"v6scan/internal/asdb"
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/ids"
+	"v6scan/internal/layers"
+	"v6scan/internal/mawi"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/pcap"
+	"v6scan/internal/scanner"
+	"v6scan/internal/sim"
+	"v6scan/internal/telescope"
+)
+
+// Core detection types.
+type (
+	// DetectorConfig parameterizes scan detection (threshold, timeout,
+	// aggregation levels).
+	DetectorConfig = core.Config
+	// Detector is the streaming multi-aggregation scan detector.
+	Detector = core.Detector
+	// Scan is one detected scan event.
+	Scan = core.Scan
+	// Totals is a Table-1 style per-level summary.
+	Totals = core.Totals
+	// PortClass buckets scans by targeted port count.
+	PortClass = core.PortClass
+	// MAWIConfig parameterizes the MAWI (Fukuda–Heidemann extended)
+	// detector.
+	MAWIConfig = core.MAWIConfig
+	// MAWIDetector detects scans in one capture window.
+	MAWIDetector = core.MAWIDetector
+	// MAWIScan is one scan detected in a capture window.
+	MAWIScan = core.MAWIScan
+)
+
+// Record & log types.
+type (
+	// Record is one unsolicited-packet log entry, the input unit of
+	// all detectors.
+	Record = firewall.Record
+	// Service is a (protocol, destination port) pair.
+	Service = firewall.Service
+	// CollectPolicy is the logging policy (the CDN excludes TCP/80,
+	// TCP/443 and ICMPv6).
+	CollectPolicy = firewall.CollectPolicy
+	// ArtifactFilter is the per-day 5-duplicate pre-filter.
+	ArtifactFilter = firewall.ArtifactFilter
+	// FilterStats reports what the artifact filter removed.
+	FilterStats = firewall.FilterStats
+)
+
+// Aggregation levels.
+type AggLevel = netaddr6.AggLevel
+
+// Aggregation levels studied in the paper.
+const (
+	Agg128 = netaddr6.Agg128
+	Agg64  = netaddr6.Agg64
+	Agg48  = netaddr6.Agg48
+	Agg32  = netaddr6.Agg32
+)
+
+// Port classes of Figures 4 and 8.
+const (
+	SinglePort   = core.SinglePort
+	Ports2to10   = core.Ports2to10
+	Ports10to100 = core.Ports10to100
+	PortsOver100 = core.PortsOver100
+)
+
+// NewDetector returns a streaming scan detector.
+func NewDetector(cfg DetectorConfig) *Detector { return core.NewDetector(cfg) }
+
+// DefaultDetectorConfig returns the paper's parameters: 100
+// destinations, 3600-second timeout, /128+/64+/48 aggregation.
+func DefaultDetectorConfig() DetectorConfig { return core.DefaultConfig() }
+
+// NewMAWIDetector returns a capture-window scan detector.
+func NewMAWIDetector(cfg MAWIConfig) *MAWIDetector { return core.NewMAWIDetector(cfg) }
+
+// DefaultMAWIConfig returns the Section-4 parameters.
+func DefaultMAWIConfig() MAWIConfig { return core.DefaultMAWIConfig() }
+
+// NewArtifactFilter returns the paper's 5-duplicate / 30% filter.
+func NewArtifactFilter() *ArtifactFilter { return firewall.NewArtifactFilter() }
+
+// DefaultCollectPolicy returns the CDN logging policy.
+func DefaultCollectPolicy() CollectPolicy { return firewall.DefaultCollectPolicy() }
+
+// ClassifyPorts applies the Appendix A.3 f-rule to a per-service
+// packet histogram.
+func ClassifyPorts(ports map[Service]uint64) PortClass { return core.ClassifyPorts(ports) }
+
+// Aggregate masks an address to an aggregation level.
+var Aggregate = netaddr6.Aggregate
+
+// LogReader streams records from a binary log.
+type LogReader = firewall.Reader
+
+// LogWriter streams records to a binary log.
+type LogWriter = firewall.Writer
+
+// ReadLog returns a record reader over a binary log stream.
+func ReadLog(r io.Reader) *LogReader { return firewall.NewReader(r) }
+
+// WriteLog returns a record writer producing the binary log format.
+func WriteLog(w io.Writer) *LogWriter { return firewall.NewWriter(w) }
+
+// RecordsFromPcap decodes a classic pcap stream (Ethernet or raw IPv6
+// link types) into records, skipping undecodable packets. The second
+// return value reports how many packets were skipped.
+func RecordsFromPcap(r io.Reader) ([]Record, int, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	var (
+		out     []Record
+		skipped int
+		d       layers.Decoded
+	)
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return out, skipped, nil
+		}
+		if err != nil {
+			return out, skipped, err
+		}
+		if perr := layers.ParseFrame(p.Data, pr.Header().LinkType, &d); perr != nil {
+			skipped++
+			continue
+		}
+		out = append(out, firewall.FromDecoded(p.Timestamp, &d))
+	}
+}
+
+// Simulation facade.
+type (
+	// ExperimentConfig assembles a CDN experiment (telescope, census,
+	// artifacts, detector).
+	ExperimentConfig = sim.Config
+	// ExperimentResult carries a finished experiment.
+	ExperimentResult = sim.Result
+	// Telescope is the synthetic CDN vantage point.
+	Telescope = telescope.Telescope
+	// TelescopeConfig sizes the telescope.
+	TelescopeConfig = telescope.Config
+	// CensusConfig configures the Table-2 scan-actor population.
+	CensusConfig = scanner.CensusConfig
+	// ArtifactsConfig sizes the background-artifact population.
+	ArtifactsConfig = artifacts.Config
+	// MAWISimulator produces daily MAWI capture windows.
+	MAWISimulator = mawi.Simulator
+	// MAWISimConfig sizes the MAWI simulation.
+	MAWISimConfig = mawi.Config
+	// ASDB is the AS registry used for source attribution.
+	ASDB = asdb.DB
+	// AS describes an autonomous system.
+	AS = asdb.AS
+)
+
+// DefaultExperimentConfig returns a full-window, laptop-scale CDN
+// experiment.
+func DefaultExperimentConfig() ExperimentConfig { return sim.DefaultConfig() }
+
+// RunCDNExperiment executes a CDN experiment end to end.
+func RunCDNExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return sim.Run(cfg) }
+
+// NewMAWISimulator returns a MAWI vantage simulator.
+func NewMAWISimulator(cfg MAWISimConfig) *MAWISimulator { return mawi.New(cfg) }
+
+// DefaultMAWISimConfig covers the paper window.
+func DefaultMAWISimConfig() MAWISimConfig { return mawi.DefaultConfig() }
+
+// IDS facade: the Discussion-section dynamic-aggregation engine.
+type (
+	// IDSConfig parameterizes the inline engine.
+	IDSConfig = ids.Config
+	// IDSEngine is the memory-bounded multi-aggregation detector with
+	// blocklist recommendations.
+	IDSEngine = ids.Engine
+	// IDSAlert is one detected entity with its recommended blocklist
+	// prefix.
+	IDSAlert = ids.Alert
+)
+
+// NewIDS returns a dynamic-aggregation IDS engine.
+func NewIDS(cfg IDSConfig) *IDSEngine { return ids.New(cfg) }
+
+// DefaultIDSConfig returns production-oriented IDS defaults.
+func DefaultIDSConfig() IDSConfig { return ids.DefaultConfig() }
+
+// Analysis facade: table/figure builders.
+type (
+	// Table1 is the per-aggregation totals table.
+	Table1 = analysis.Table1
+	// Table2 is the top source-AS table.
+	Table2 = analysis.Table2
+	// Table3 is the top targeted-services table.
+	Table3 = analysis.Table3
+	// Heatmap is the Figure-1 per-/64 histogram.
+	Heatmap = analysis.Heatmap
+	// HeatmapCollector accumulates Figure-1 input from raw records.
+	HeatmapCollector = analysis.HeatmapCollector
+	// WeeklySources is Figure 2.
+	WeeklySources = analysis.WeeklySources
+	// Concentration is Figure 3.
+	Concentration = analysis.Concentration
+	// PortBreakdown is Figures 4 and 8.
+	PortBreakdown = analysis.PortBreakdown
+	// DNSReport is the Section-3.3 target-provenance analysis.
+	DNSReport = analysis.DNSReport
+	// DNSCollector accumulates provenance input from filtered records.
+	DNSCollector = analysis.DNSCollector
+	// CaseStudy32 is the Section-3.2 /32 aggregation exercise.
+	CaseStudy32 = analysis.CaseStudy32
+)
+
+// Analysis builders (see internal/analysis for documentation).
+var (
+	BuildTable1         = analysis.BuildTable1
+	BuildTable2         = analysis.BuildTable2
+	BuildTable3         = analysis.BuildTable3
+	BuildWeeklySources  = analysis.BuildWeeklySources
+	BuildConcentration  = analysis.BuildConcentration
+	BuildPortBreakdown  = analysis.BuildPortBreakdown
+	BuildDurationStats  = analysis.BuildDurationStats
+	BuildTwinReport     = analysis.BuildTwinReport
+	BuildCaseStudy32    = analysis.BuildCaseStudy32
+	NewHeatmapCollector = analysis.NewHeatmapCollector
+	NewDNSCollector     = analysis.NewDNSCollector
+)
