@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +27,7 @@ func main() {
 		experiment = flag.String("experiment", "", "experiment id (fig1,tab1,sens,fig2,fig3,tab2,fig4,tab3,dns,fig5,fig6,fig7,fig8,a1,a4,icmp); empty = all")
 		full       = flag.Bool("full", false, "use the complete Jan 2021–Mar 2022 window (slow)")
 		machines   = flag.Int("machines", 2500, "telescope machines")
+		shards     = flag.Int("shards", runtime.NumCPU(), "detector worker shards (1 = serial)")
 	)
 	flag.Parse()
 
@@ -36,6 +38,7 @@ func main() {
 		weeks = 63
 	}
 	r := newRunner(start, weeks, *machines, *full)
+	r.shards = *shards
 
 	cdnExperiments := map[string]func(){
 		"fig1": r.fig1, "tab1": r.tab1, "sens": r.sens, "fig2": r.fig2,
@@ -74,6 +77,7 @@ type runner struct {
 	weeks    int
 	machines int
 	full     bool
+	shards   int
 
 	res  *v6scan.ExperimentResult
 	heat *v6scan.HeatmapCollector
@@ -90,21 +94,25 @@ func (r *runner) cdn() *v6scan.ExperimentResult {
 	}
 	cfg := r.baseConfig()
 	cfg.Detector.TrackDsts = true
+	// The figure collectors join the experiment pipeline as sinks: the
+	// heatmap on the raw (pre-policy) tap, the provenance collector on
+	// the filtered tap (buffered — it needs the telescope, which only
+	// exists once Run returns).
 	r.heat = v6scan.NewHeatmapCollector()
-	cfg.RawTap = r.heat.Add
+	cfg.RawSink = v6scan.CollectorSink(r.heat.Add)
 	var filtered []v6scan.Record
-	cfg.FilteredTap = func(rec v6scan.Record) { filtered = append(filtered, rec) }
+	cfg.FilteredSink = v6scan.CollectorSink(func(rec v6scan.Record) { filtered = append(filtered, rec) })
 	t0 := time.Now()
 	res, err := v6scan.RunCDNExperiment(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	r.dnsC = v6scan.NewDNSCollector(res.Telescope, 0)
-	for _, rec := range filtered {
-		r.dnsC.Add(rec)
+	if err := v6scan.NewPipeline(v6scan.NewSliceSource(filtered), v6scan.CollectorSink(r.dnsC.Add)).Run(); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("[cdn run: %d machines, %d weeks, %d records detected, %v]\n\n",
-		res.Telescope.NumMachines(), r.weeks, res.RecordsDetected, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("[cdn run: %d machines, %d weeks, %d shards, %d records detected, %v]\n\n",
+		res.Telescope.NumMachines(), r.weeks, r.shards, res.RecordsDetected, time.Since(t0).Round(time.Millisecond))
 	r.res = res
 	return res
 }
@@ -116,6 +124,7 @@ func (r *runner) baseConfig() v6scan.ExperimentConfig {
 	cfg.Census.Start = r.start
 	cfg.Census.End = r.start.Add(time.Duration(r.weeks) * 7 * 24 * time.Hour)
 	cfg.Detector.WeekEpoch = r.start
+	cfg.Shards = r.shards
 	return cfg
 }
 

@@ -46,15 +46,14 @@ func main() {
 	cfg.Census.End = from.Add(time.Duration(*weeks) * 7 * 24 * time.Hour)
 	cfg.Census.Seed = *seed + 1
 	cfg.Detector.WeekEpoch = from
-	write := func(r v6scan.Record) {
-		if err := w.Write(r); err != nil {
-			log.Fatal(err)
-		}
-	}
+	// The log writer joins the experiment's pipeline as a sink on the
+	// requested tap point. The raw tap fires in emission order (before
+	// the experiment's own day sorter), so sort it here — the log
+	// format promises time order to its readers.
 	if *raw {
-		cfg.RawTap = write
+		cfg.RawSink = v6scan.NewDaySortStage(v6scan.NewLogSink(w))
 	} else {
-		cfg.FilteredTap = write
+		cfg.FilteredSink = v6scan.NewLogSink(w)
 	}
 
 	res, err := v6scan.RunCDNExperiment(cfg)

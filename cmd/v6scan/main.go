@@ -1,7 +1,9 @@
 // v6scan detects large-scale IPv6 scans in a firewall log (the binary
 // record format of cmd/telescope-sim) or a classic pcap capture, using
 // the paper's scan definition with configurable threshold, timeout and
-// aggregation levels.
+// aggregation levels. Input streams through the standard pipeline —
+// optional 5-duplicate artifact pre-filter into the scan detector,
+// sharded across worker goroutines with -shards.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 		levels  = flag.String("agg", "128,64,48", "comma-separated aggregation prefix lengths")
 		topN    = flag.Int("top", 20, "print at most N scans per level (0 = all)")
 		filter  = flag.Bool("filter", false, "apply the 5-duplicate artifact pre-filter first")
+		shards  = flag.Int("shards", 1, "detector worker shards (1 = serial; output is identical)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -48,40 +51,41 @@ func main() {
 		}
 		cfg.Levels = append(cfg.Levels, lvl)
 	}
-	det := v6scan.NewDetector(cfg)
 
-	records, err := readInput(*input)
+	src, err := openSource(*input)
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := 0
-	if *filter {
-		af := v6scan.NewArtifactFilter()
-		process := func(rs []v6scan.Record) {
-			for _, r := range rs {
-				n++
-				if err := det.Process(r); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
-		for _, r := range records {
-			process(af.Push(r))
-		}
-		process(af.Close())
-	} else {
-		for _, r := range records {
-			n++
-			if err := det.Process(r); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	det.Finish()
 
-	fmt.Printf("processed %d records\n", n)
+	// Sink chain: optional artifact filter → counter → detector (plain
+	// when serial, sharded otherwise). The counter sits past the filter
+	// so "processed" reports what detection actually consumed.
+	var scanner interface {
+		Scans(v6scan.AggLevel) []v6scan.Scan
+	}
+	var detSink v6scan.RecordSink
+	if *shards > 1 {
+		det := v6scan.NewShardedDetector(cfg, *shards)
+		detSink = v6scan.NewShardedSink(det)
+		scanner = det
+	} else {
+		det := v6scan.NewDetector(cfg)
+		detSink = v6scan.NewDetectorSink(det)
+		scanner = det
+	}
+	counted := v6scan.NewPipelineCounter(detSink)
+	var sink v6scan.RecordSink = counted
+	if *filter {
+		sink = v6scan.NewArtifactStage(v6scan.NewArtifactFilter(), sink)
+	}
+
+	if err := v6scan.NewPipeline(src, sink).Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("processed %d records\n", counted.Count())
 	for _, lvl := range cfg.Levels {
-		scans := det.Scans(lvl)
+		scans := scanner.Scans(lvl)
 		fmt.Printf("\n=== %s: %d scans ===\n", lvl, len(scans))
 		sort.Slice(scans, func(i, j int) bool { return scans[i].Packets > scans[j].Packets })
 		for i, s := range scans {
@@ -96,7 +100,11 @@ func main() {
 	}
 }
 
-func readInput(path string) ([]v6scan.Record, error) {
+// openSource returns a pipeline source for the input path: a streaming
+// log reader, or a pcap decode materialized and sorted (detection
+// requires time order; captures normally are ordered, but sort
+// defensively).
+func openSource(path string) (v6scan.RecordSource, error) {
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin
@@ -105,7 +113,6 @@ func readInput(path string) ([]v6scan.Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
 		r = bufio.NewReaderSize(f, 1<<20)
 	}
 	if strings.HasSuffix(path, ".pcap") {
@@ -116,21 +123,8 @@ func readInput(path string) ([]v6scan.Record, error) {
 		if skipped > 0 {
 			fmt.Fprintf(os.Stderr, "skipped %d undecodable packets\n", skipped)
 		}
-		// Detection requires time order; captures normally are ordered,
-		// but sort defensively.
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
-		return recs, nil
+		return v6scan.NewSliceSource(recs), nil
 	}
-	lr := v6scan.ReadLog(r)
-	var out []v6scan.Record
-	for {
-		rec, err := lr.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, rec)
-	}
+	return v6scan.NewLogSource(r), nil
 }

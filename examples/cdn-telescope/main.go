@@ -36,8 +36,10 @@ func main() {
 	cfg.Census.End = from.Add(time.Duration(*weeks) * 7 * 24 * time.Hour)
 	cfg.Detector.WeekEpoch = from
 
+	// The Figure-1 heatmap collector joins the experiment pipeline as a
+	// sink on the raw (pre-policy) tap.
 	heat := v6scan.NewHeatmapCollector()
-	cfg.RawTap = heat.Add
+	cfg.RawSink = v6scan.CollectorSink(heat.Add)
 
 	t0 := time.Now()
 	res, err := v6scan.RunCDNExperiment(cfg)

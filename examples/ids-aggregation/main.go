@@ -5,11 +5,13 @@
 // missing spread-source scans (too specific) or blocklisting innocent
 // neighbours (too coarse).
 //
-// The example synthesizes three archetypal actors from the paper:
+// The example synthesizes three archetypal actors from the paper —
 // a single-/128 scanner (AS #1 style), a /64-spread scanner (AS #9
-// style), and a /48-spread scanner (AS #18 style), then shows which
-// aggregation level each is caught at and what a blocklist entry
-// should be.
+// style), and a /48-spread scanner (AS #18 style) — then tees one
+// record stream through a pipeline into both the offline
+// multi-aggregation detector and the online IDS engine, showing which
+// aggregation level each actor is caught at and what a blocklist
+// entry should be.
 package main
 
 import (
@@ -27,25 +29,21 @@ import (
 func main() {
 	cfg := v6scan.DefaultDetectorConfig()
 	cfg.Levels = []v6scan.AggLevel{v6scan.Agg128, v6scan.Agg64, v6scan.Agg48, v6scan.Agg32}
-	det := v6scan.NewDetector(cfg)
+
+	// Synthesize the three actors into one time-ordered stream.
 	rng := rand.New(rand.NewSource(42))
 	ts := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
 	targets := netaddr6.MustPrefix("2001:db8:f::/48")
-
+	var recs []v6scan.Record
 	emit := func(src netip.Addr, n int) {
 		for i := 0; i < n; i++ {
-			dst := netaddr6.RandomAddrIn(targets, rng)
-			err := det.Process(v6scan.Record{
-				Time: ts, Src: src, Dst: dst,
+			recs = append(recs, v6scan.Record{
+				Time: ts, Src: src, Dst: netaddr6.RandomAddrIn(targets, rng),
 				Proto: layers.ProtoTCP, SrcPort: 40000, DstPort: 22, Length: 60,
 			})
-			if err != nil {
-				log.Fatal(err)
-			}
 			ts = ts.Add(200 * time.Millisecond)
 		}
 	}
-
 	// Actor A: one /128, 300 probes.
 	emit(netaddr6.MustAddr("2001:db8:a::1"), 300)
 	// Actor B: 50 random /128s inside one /64, 8 probes each.
@@ -59,7 +57,18 @@ func main() {
 		p64 := netaddr6.NthSubprefix(c48, 64, uint64(i))
 		emit(netaddr6.RandomAddrIn(p64, rng), 6)
 	}
-	det.Finish()
+
+	// One pipeline, two terminal sinks: the offline detector and the
+	// online dynamic-aggregation engine see the identical stream.
+	det := v6scan.NewDetector(cfg)
+	engine := v6scan.NewIDS(v6scan.DefaultIDSConfig())
+	idsSink := v6scan.NewIDSSink(engine)
+	p := v6scan.NewPipeline(
+		v6scan.NewSliceSource(recs),
+		v6scan.TeeStage(v6scan.NewDetectorSink(det), idsSink))
+	if err := p.Run(); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("per-level detections:")
 	byLevel := map[v6scan.AggLevel][]v6scan.Scan{}
@@ -70,19 +79,14 @@ func main() {
 		}
 	}
 
-	// Minimal-footprint blocklist: for each detected /48-or-coarser
-	// entity, prefer the most specific level that already captures the
-	// bulk (≥90%) of its destinations — avoiding collateral damage.
-	// The same decision, made automatically by the library's
-	// dynamic-aggregation engine (sketched destination sets, bounded
-	// memory, suppression of redundant coarser alerts).
-	engine := v6scan.NewIDS(v6scan.DefaultIDSConfig())
-	replay(engine, rng, targets)
 	fmt.Println("\nIDS engine alerts:")
-	for _, a := range engine.Flush() {
+	for _, a := range idsSink.Alerts {
 		fmt.Printf("  %s\n", a)
 	}
 
+	// Minimal-footprint blocklist: for each detected /48-or-coarser
+	// entity, prefer the most specific level that already captures the
+	// bulk (≥90%) of its destinations — avoiding collateral damage.
 	fmt.Println("\nrecommended blocklist entries (manual, most specific sufficient level):")
 	for _, s48 := range byLevel[v6scan.Agg48] {
 		best := s48.Source
@@ -98,28 +102,5 @@ func main() {
 			}
 		}
 		fmt.Printf("  block %v\n", best)
-	}
-}
-
-// replay feeds the engine the same three actors.
-func replay(engine *v6scan.IDSEngine, rng *rand.Rand, targets netip.Prefix) {
-	ts := time.Date(2021, 6, 2, 0, 0, 0, 0, time.UTC)
-	emit := func(src netip.Addr, n int) {
-		for i := 0; i < n; i++ {
-			engine.Process(v6scan.Record{
-				Time: ts, Src: src, Dst: netaddr6.RandomAddrIn(targets, rng),
-				Proto: layers.ProtoTCP, SrcPort: 40000, DstPort: 22, Length: 60,
-			})
-			ts = ts.Add(200 * time.Millisecond)
-		}
-	}
-	emit(netaddr6.MustAddr("2001:db8:a::1"), 300)
-	b64 := netaddr6.MustPrefix("2001:db8:b:1::/64")
-	for i := 0; i < 50; i++ {
-		emit(netaddr6.RandomAddrIn(b64, rng), 8)
-	}
-	c48 := netaddr6.MustPrefix("2001:db8:c::/48")
-	for i := 0; i < 40; i++ {
-		emit(netaddr6.RandomAddrIn(netaddr6.NthSubprefix(c48, 64, uint64(i)), rng), 6)
 	}
 }

@@ -1,6 +1,7 @@
-// Quickstart: feed a synthetic stream of unsolicited packets into the
-// scan detector and print the detected scans at each aggregation
-// level. This is the minimal end-to-end use of the public API.
+// Quickstart: feed a synthetic stream of unsolicited packets through a
+// pipeline into the scan detector and print the detected scans at each
+// aggregation level. This is the minimal end-to-end use of the public
+// API: a record source, a sink chain, one Run.
 package main
 
 import (
@@ -14,35 +15,42 @@ import (
 )
 
 func main() {
-	det := v6scan.NewDetector(v6scan.DefaultDetectorConfig())
-
 	// A scanner at 2001:db8:bad::1 probing 500 addresses on TCP/22,
 	// one packet per second.
+	var recs []v6scan.Record
 	src := netip.MustParseAddr("2001:db8:bad::1")
 	base := netip.MustParseAddr("2001:db8:cafe::")
 	ts := time.Date(2021, 6, 1, 12, 0, 0, 0, time.UTC)
 	for i := 0; i < 500; i++ {
-		dst := addrPlus(base, uint64(i+1))
-		rec := v6scan.Record{
-			Time: ts, Src: src, Dst: dst,
+		recs = append(recs, v6scan.Record{
+			Time: ts, Src: src, Dst: addrPlus(base, uint64(i+1)),
 			Proto: layers.ProtoTCP, SrcPort: 40000, DstPort: 22, Length: 60,
-		}
-		if err := det.Process(rec); err != nil {
-			log.Fatal(err)
-		}
+		})
 		ts = ts.Add(time.Second)
 	}
 	// An ordinary client talking to a single server: never a scan.
 	client := netip.MustParseAddr("2001:db8:c11e:17::1")
 	server := addrPlus(base, 1)
 	for i := 0; i < 200; i++ {
-		det.Process(v6scan.Record{
+		recs = append(recs, v6scan.Record{
 			Time: ts, Src: client, Dst: server,
 			Proto: layers.ProtoTCP, SrcPort: 52000, DstPort: 8080, Length: uint16(60 + i%700),
 		})
 		ts = ts.Add(100 * time.Millisecond)
 	}
-	det.Finish()
+
+	// Compose the pipeline: source → collection policy → detector.
+	// Swap NewDetectorSink for NewShardedSink(NewShardedDetector(cfg, 8))
+	// to spread detection across worker shards — the output is
+	// identical.
+	det := v6scan.NewDetector(v6scan.DefaultDetectorConfig())
+	p := v6scan.NewPipeline(
+		v6scan.NewSliceSource(recs),
+		v6scan.PolicyStage(v6scan.DefaultCollectPolicy(),
+			v6scan.NewDetectorSink(det)))
+	if err := p.Run(); err != nil {
+		log.Fatal(err)
+	}
 
 	for _, lvl := range []v6scan.AggLevel{v6scan.Agg128, v6scan.Agg64, v6scan.Agg48} {
 		fmt.Printf("— detected scans at %s —\n", lvl)

@@ -1,0 +1,3 @@
+module v6scan
+
+go 1.24

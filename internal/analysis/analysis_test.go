@@ -8,6 +8,7 @@ import (
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
 	"v6scan/internal/netaddr6"
+	"v6scan/internal/pipeline"
 	"v6scan/internal/scanner"
 	"v6scan/internal/sim"
 )
@@ -27,11 +28,11 @@ func sharedRun(t *testing.T) (*sim.Result, *HeatmapCollector, *DNSCollector) {
 	cfg := sim.QuickConfig(1000, 12, time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC), 28)
 	cfg.Detector.TrackDsts = true
 	heat := NewHeatmapCollector()
-	cfg.RawTap = heat.Add
+	cfg.RawSink = pipeline.Collector(heat.Add)
 	// The DNS collector needs the telescope, which exists only after
 	// Run starts; buffer records and replay.
 	var filtered []firewall.Record
-	cfg.FilteredTap = func(r firewall.Record) { filtered = append(filtered, r) }
+	cfg.FilteredSink = pipeline.Collector(func(r firewall.Record) { filtered = append(filtered, r) })
 	res, err := sim.Run(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -52,7 +52,7 @@ type PrecursorStat struct {
 }
 
 // DNSCollector gathers per-/64-source target sequences from the
-// filtered record stream (sim.Config.FilteredTap), preserving arrival
+// filtered record stream (sim.Config.FilteredSink), preserving arrival
 // order for the precursor analysis.
 type DNSCollector struct {
 	tele   *telescope.Telescope

@@ -25,7 +25,7 @@ type Heatmap struct {
 }
 
 // HeatmapCollector accumulates Figure-1 statistics from a raw record
-// stream (wire it to sim.Config.RawTap).
+// stream (wire it to sim.Config.RawSink).
 type HeatmapCollector struct {
 	perSrc map[netip.Prefix]*srcStat
 }

@@ -1,0 +1,136 @@
+package artifacts
+
+import (
+	"testing"
+	"time"
+
+	"v6scan/internal/asdb"
+	"v6scan/internal/firewall"
+	"v6scan/internal/layers"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/telescope"
+)
+
+func testTelescope(t *testing.T, db *asdb.DB) *telescope.Telescope {
+	t.Helper()
+	cfg := telescope.DefaultConfig()
+	cfg.Machines = 300
+	cfg.ASes = 5
+	tele, err := telescope.New(cfg, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tele
+}
+
+func emitDay(g *Generator, day time.Time) []firewall.Record {
+	var recs []firewall.Record
+	g.EmitDay(day, func(r firewall.Record) { recs = append(recs, r) })
+	return recs
+}
+
+func TestDeterministicEmission(t *testing.T) {
+	tele := testTelescope(t, asdb.New())
+	day := time.Date(2021, 3, 5, 0, 0, 0, 0, time.UTC)
+	a := emitDay(New(DefaultConfig(), tele, nil), day)
+	b := emitDay(New(DefaultConfig(), tele, nil), day)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("record counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSourcesInEyeballSpaceAndAttributable(t *testing.T) {
+	db := asdb.New()
+	tele := testTelescope(t, db)
+	g := New(DefaultConfig(), tele, db)
+	day := time.Date(2021, 3, 5, 0, 0, 0, 0, time.UTC)
+	for _, r := range emitDay(g, day) {
+		if !EyeballSpace.Contains(r.Src) {
+			t.Fatalf("source %v outside EyeballSpace", r.Src)
+		}
+		as, _, ok := db.Attribute(r.Src)
+		if !ok {
+			t.Fatalf("source %v not attributable", r.Src)
+		}
+		if as.Type != asdb.TypeISP {
+			t.Errorf("eyeball AS type %v, want ISP", as.Type)
+		}
+		if day.After(r.Time) || !r.Time.Before(day.Add(24*time.Hour)) {
+			t.Fatalf("record at %v outside day %v", r.Time, day)
+		}
+	}
+}
+
+func TestArtifactClientsTripTheFilter(t *testing.T) {
+	tele := testTelescope(t, nil)
+	cfg := DefaultConfig()
+	g := New(cfg, tele, nil)
+	day := time.Date(2021, 3, 5, 0, 0, 0, 0, time.UTC)
+	recs := emitDay(g, day)
+
+	f := firewall.NewArtifactFilter()
+	for _, r := range recs {
+		f.Push(r)
+	}
+	out := f.Close()
+	st := f.Stats()
+
+	// Every SMTP and IPsec client's /64 must be dropped; the benign
+	// population must survive.
+	if want := uint64(cfg.SMTPClients + cfg.IPsecClients); st.SourcesDropped != want {
+		t.Errorf("sources dropped = %d, want %d", st.SourcesDropped, want)
+	}
+	if len(out) == 0 {
+		t.Error("benign clients did not survive the filter")
+	}
+	for _, r := range out {
+		if svc := r.Service(); svc == (firewall.Service{Proto: layers.ProtoTCP, Port: 25}) ||
+			svc == (firewall.Service{Proto: layers.ProtoUDP, Port: 500}) {
+			t.Fatalf("artifact record survived: %+v", r)
+		}
+	}
+
+	// Appendix A.1 shape: TCP/25 and UDP/500 lead the drop statistics.
+	top := st.TopFilteredServices(2)
+	if len(top) != 2 {
+		t.Fatalf("top services: %+v", top)
+	}
+	names := map[string]bool{top[0].Service.String(): true, top[1].Service.String(): true}
+	if !names["TCP/25"] || !names["UDP/500"] {
+		t.Errorf("top filtered services %v, want TCP/25 and UDP/500", names)
+	}
+}
+
+func TestCollectPolicyAdmitsArtifacts(t *testing.T) {
+	// Artifact traffic must pass the CDN collection policy — the paper
+	// filters it with the duplicate rule, not the policy.
+	tele := testTelescope(t, nil)
+	g := New(DefaultConfig(), tele, nil)
+	policy := firewall.DefaultCollectPolicy()
+	day := time.Date(2021, 3, 5, 0, 0, 0, 0, time.UTC)
+	for _, r := range emitDay(g, day) {
+		if !policy.Admit(r) {
+			t.Fatalf("policy rejected artifact record %+v", r)
+		}
+	}
+}
+
+func TestSpacesDisjoint(t *testing.T) {
+	for _, p := range []struct {
+		name string
+		pfx  string
+	}{
+		{"telescope", "2a00::/12"},
+		{"scan actors", "2c00::/12"},
+	} {
+		other := netaddr6.MustPrefix(p.pfx)
+		if EyeballSpace.Overlaps(other) {
+			t.Errorf("EyeballSpace overlaps %s space %v", p.name, other)
+		}
+	}
+}

@@ -93,21 +93,98 @@ func (s *Scan) Duration() time.Duration { return s.End.Sub(s.Start) }
 // NumPorts returns the number of distinct services targeted.
 func (s *Scan) NumPorts() int { return len(s.Ports) }
 
-// session is the in-flight state for one aggregated source.
+// session is the in-flight state for one aggregated source. The
+// address sets are keyed by pointer-free U128 values rather than
+// netip.Addr: the detector's working set is dominated by these maps,
+// and value keys keep the garbage collector from tracing millions of
+// interned-zone pointers on every cycle.
+//
+// Sessions additionally hold their first destination, source, service
+// and week inline and materialize the maps only on the second distinct
+// value: at fine aggregation levels the overwhelming majority of
+// sessions are short-lived background sources that close below the
+// threshold, and the fast path spares three map allocations per
+// session.
 type session struct {
 	start, last time.Time
 	packets     uint64
-	dsts        map[netip.Addr]struct{}
-	srcs        map[netip.Addr]struct{}
-	ports       map[firewall.Service]uint64
-	weeks       map[int]uint64
-	lenCounter  entropy.Counter
+
+	firstDst, firstSrc netaddr6.U128
+	firstSvc           firewall.Service
+	svcN               uint64
+	firstWeek          int32
+	weekN              uint64
+
+	dsts       map[netaddr6.U128]struct{}
+	srcs       map[netaddr6.U128]struct{}
+	ports      map[firewall.Service]uint64
+	weeks      map[int]uint64
+	lenCounter entropy.Counter
 }
 
-// levelState tracks all sessions at one aggregation level.
+func (s *session) addDst(d netaddr6.U128) {
+	if s.dsts == nil {
+		if d == s.firstDst {
+			return
+		}
+		s.dsts = map[netaddr6.U128]struct{}{s.firstDst: {}, d: {}}
+		return
+	}
+	s.dsts[d] = struct{}{}
+}
+
+func (s *session) addSrc(a netaddr6.U128) {
+	if s.srcs == nil {
+		if a == s.firstSrc {
+			return
+		}
+		s.srcs = map[netaddr6.U128]struct{}{s.firstSrc: {}, a: {}}
+		return
+	}
+	s.srcs[a] = struct{}{}
+}
+
+func (s *session) addSvc(svc firewall.Service) {
+	if s.ports == nil {
+		if svc == s.firstSvc {
+			s.svcN++
+			return
+		}
+		s.ports = map[firewall.Service]uint64{s.firstSvc: s.svcN}
+	}
+	s.ports[svc]++
+}
+
+func (s *session) addWeek(w int) {
+	if s.weeks == nil {
+		if int32(w) == s.firstWeek {
+			s.weekN++
+			return
+		}
+		s.weeks = map[int]uint64{int(s.firstWeek): s.weekN}
+	}
+	s.weeks[w]++
+}
+
+func (s *session) numDsts() int {
+	if s.dsts == nil {
+		return 1
+	}
+	return len(s.dsts)
+}
+
+func (s *session) numSrcs() int {
+	if s.srcs == nil {
+		return 1
+	}
+	return len(s.srcs)
+}
+
+// levelState tracks all sessions at one aggregation level, keyed by
+// the masked 128-bit source (the prefix length is the level itself).
 type levelState struct {
 	level    netaddr6.AggLevel
-	sessions map[netip.Prefix]*session
+	sessions map[netaddr6.U128]*session
 	scans    []Scan
 	// dropped counts sessions that closed below the destination
 	// threshold (useful for diagnostics and the Figure 1 discussion).
@@ -139,7 +216,7 @@ func NewDetector(cfg Config) *Detector {
 	for _, l := range cfg.Levels {
 		d.levels = append(d.levels, &levelState{
 			level:    l,
-			sessions: make(map[netip.Prefix]*session),
+			sessions: make(map[netaddr6.U128]*session),
 		})
 	}
 	return d
@@ -156,8 +233,18 @@ func (d *Detector) Process(r firewall.Record) error {
 		return fmt.Errorf("core: record at %v before previous %v; detector requires time order", r.Time, d.lastTime)
 	}
 	d.lastTime = r.Time
+	if !netaddr6.IsIPv6(r.Src) {
+		panic("core: Process on non-IPv6 source " + r.Src.String())
+	}
+	src, dst := netaddr6.ToU128(r.Src), netaddr6.ToU128(r.Dst)
+	svc := r.Service()
+	weekly := !d.cfg.WeekEpoch.IsZero()
+	var week int
+	if weekly {
+		week = weekIndex(d.cfg.WeekEpoch, r.Time)
+	}
 	for _, ls := range d.levels {
-		key := netaddr6.Aggregate(r.Src, ls.level)
+		key := src.Mask(int(ls.level))
 		s := ls.sessions[key]
 		if s != nil && r.Time.Sub(s.last) > d.cfg.Timeout {
 			d.closeSession(ls, key, s)
@@ -165,24 +252,24 @@ func (d *Detector) Process(r firewall.Record) error {
 		}
 		if s == nil {
 			s = &session{
-				start: r.Time,
-				dsts:  make(map[netip.Addr]struct{}),
-				srcs:  make(map[netip.Addr]struct{}),
-				ports: make(map[firewall.Service]uint64),
+				start: r.Time, last: r.Time, packets: 1,
+				firstDst: dst, firstSrc: src, firstSvc: svc, svcN: 1,
 			}
-			if !d.cfg.WeekEpoch.IsZero() {
-				s.weeks = make(map[int]uint64)
+			if weekly {
+				s.firstWeek, s.weekN = int32(week), 1
 			}
+			s.lenCounter.Observe(uint64(r.Length))
 			ls.sessions[key] = s
+			continue
 		}
 		s.last = r.Time
 		s.packets++
-		s.dsts[r.Dst] = struct{}{}
-		s.srcs[r.Src] = struct{}{}
-		s.ports[r.Service()]++
+		s.addDst(dst)
+		s.addSrc(src)
+		s.addSvc(svc)
 		s.lenCounter.Observe(uint64(r.Length))
-		if s.weeks != nil {
-			s.weeks[weekIndex(d.cfg.WeekEpoch, r.Time)]++
+		if weekly {
+			s.addWeek(week)
 		}
 	}
 	return nil
@@ -211,28 +298,40 @@ func (d *Detector) Finish() {
 	}
 }
 
-func (d *Detector) closeSession(ls *levelState, key netip.Prefix, s *session) {
+func (d *Detector) closeSession(ls *levelState, key netaddr6.U128, s *session) {
 	delete(ls.sessions, key)
-	if len(s.dsts) < d.cfg.MinDsts {
+	if s.numDsts() < d.cfg.MinDsts {
 		ls.dropped++
 		return
 	}
+	// Qualifying sessions are the rare case; materialize any inline
+	// fast-path state into the maps the Scan exposes.
+	if s.ports == nil {
+		s.ports = map[firewall.Service]uint64{s.firstSvc: s.svcN}
+	}
+	if s.weeks == nil && s.weekN > 0 {
+		s.weeks = map[int]uint64{int(s.firstWeek): s.weekN}
+	}
 	scan := Scan{
-		Source:      key,
+		Source:      netip.PrefixFrom(key.ToAddr(), int(ls.level)),
 		Level:       ls.level,
 		Start:       s.start,
 		End:         s.last,
 		Packets:     s.packets,
-		Dsts:        len(s.dsts),
-		SrcAddrs:    len(s.srcs),
+		Dsts:        s.numDsts(),
+		SrcAddrs:    s.numSrcs(),
 		Ports:       s.ports,
 		WeekPackets: s.weeks,
 		LenEntropy:  s.lenCounter.Normalized(),
 	}
 	if d.cfg.TrackDsts {
-		scan.DstAddrs = make([]netip.Addr, 0, len(s.dsts))
-		for a := range s.dsts {
-			scan.DstAddrs = append(scan.DstAddrs, a)
+		scan.DstAddrs = make([]netip.Addr, 0, s.numDsts())
+		if s.dsts == nil {
+			scan.DstAddrs = append(scan.DstAddrs, s.firstDst.ToAddr())
+		} else {
+			for a := range s.dsts {
+				scan.DstAddrs = append(scan.DstAddrs, a.ToAddr())
+			}
 		}
 		sort.Slice(scan.DstAddrs, func(i, j int) bool {
 			return scan.DstAddrs[i].Compare(scan.DstAddrs[j]) < 0

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"v6scan/internal/firewall"
+	"v6scan/internal/netaddr6"
+)
+
+// ShardedDetector runs the multi-aggregation scan definition across N
+// worker shards in parallel. Records are partitioned by their source
+// aggregated to the *coarsest* configured level, so every session key
+// at every level — finer prefixes nest inside the coarsest — lives in
+// exactly one shard and the combined output is identical to a single
+// Detector's, independent of shard count (see TestShardedParity).
+//
+// Each shard owns a private Detector and consumes batches from a
+// channel; ProcessBatch partitions input while workers drain previous
+// batches, so multi-level aggregation overlaps across sources instead
+// of running serially per record. Finish drains the workers and merges
+// per-level results deterministically (scans ordered by start time,
+// then source).
+type ShardedDetector struct {
+	cfg      Config
+	shardLvl netaddr6.AggLevel
+	shards   []*Detector
+	chans    []chan shardMsg
+	// err holds the first worker error; workers race to set it and
+	// the dispatching goroutine polls it so failures surface at the
+	// next Process/ProcessBatch call rather than only at Finish.
+	err atomic.Pointer[error]
+	wg  sync.WaitGroup
+
+	// buf stages single-record Process calls until batchSize is
+	// reached; ProcessBatch bypasses it.
+	buf       []firewall.Record
+	batchSize int
+	finished  bool
+	merged    *Detector
+}
+
+// shardMsg is one unit of work for a shard: a run of records and/or a
+// timeout-eviction horizon.
+type shardMsg struct {
+	recs    []firewall.Record
+	advance time.Time
+}
+
+// defaultShardBatch is the staging size for the single-record Process
+// path; large enough to amortize channel traffic, small enough that
+// streaming callers see timely progress.
+const defaultShardBatch = 2048
+
+// NewShardedDetector returns a detector running the configuration's
+// aggregation levels across n parallel shards. n < 1 is treated as 1;
+// a single shard still processes on one worker goroutine but is
+// byte-identical (and close in cost) to a plain Detector.
+func NewShardedDetector(cfg Config, n int) *ShardedDetector {
+	if n < 1 {
+		n = 1
+	}
+	// Normalize the config once so every shard and the merged view
+	// agree (NewDetector applies the same defaults).
+	probe := NewDetector(cfg)
+	cfg = probe.Config()
+
+	// Shard by the coarsest level: the smallest prefix length contains
+	// every finer aggregate of the same source.
+	coarsest := cfg.Levels[0]
+	for _, l := range cfg.Levels {
+		if l < coarsest {
+			coarsest = l
+		}
+	}
+	sd := &ShardedDetector{
+		cfg:       cfg,
+		shardLvl:  coarsest,
+		shards:    make([]*Detector, n),
+		chans:     make([]chan shardMsg, n),
+		batchSize: defaultShardBatch,
+	}
+	for i := range sd.shards {
+		if i == 0 {
+			sd.shards[i] = probe
+		} else {
+			sd.shards[i] = NewDetector(cfg)
+		}
+		sd.chans[i] = make(chan shardMsg, 4)
+		sd.wg.Add(1)
+		go sd.worker(i)
+	}
+	return sd
+}
+
+// Config returns the (normalized) detector configuration.
+func (sd *ShardedDetector) Config() Config { return sd.cfg }
+
+// NumShards returns the worker count.
+func (sd *ShardedDetector) NumShards() int { return len(sd.shards) }
+
+func (sd *ShardedDetector) worker(i int) {
+	defer sd.wg.Done()
+	det := sd.shards[i]
+	failed := false
+	for msg := range sd.chans[i] {
+		if failed {
+			continue // drain after failure
+		}
+		if !msg.advance.IsZero() {
+			det.Advance(msg.advance)
+		}
+		for _, r := range msg.recs {
+			if err := det.Process(r); err != nil {
+				sd.err.CompareAndSwap(nil, &err)
+				failed = true
+				break
+			}
+		}
+	}
+}
+
+// shardOf routes a source address to its shard.
+func (sd *ShardedDetector) shardOf(src netip.Addr) int {
+	if len(sd.shards) == 1 {
+		return 0
+	}
+	key := netaddr6.ToU128(src).Mask(int(sd.shardLvl))
+	// splitmix-style finalizer over the masked 128-bit key.
+	x := key.Hi ^ bits.RotateLeft64(key.Lo, 31)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(len(sd.shards)))
+}
+
+// Process ingests one record, staging it until a batch accumulates.
+// Records must be in non-decreasing time order, as for Detector.
+func (sd *ShardedDetector) Process(r firewall.Record) error {
+	sd.buf = append(sd.buf, r)
+	if len(sd.buf) >= sd.batchSize {
+		return sd.flushBuf()
+	}
+	return nil
+}
+
+// ProcessBatch partitions a time-ordered run of records across the
+// shards and dispatches it. The slice is not retained.
+func (sd *ShardedDetector) ProcessBatch(recs []firewall.Record) error {
+	if len(sd.buf) > 0 {
+		if err := sd.flushBuf(); err != nil {
+			return err
+		}
+	}
+	return sd.dispatch(recs, time.Time{})
+}
+
+func (sd *ShardedDetector) flushBuf() error {
+	err := sd.dispatch(sd.buf, time.Time{})
+	sd.buf = sd.buf[:0]
+	return err
+}
+
+func (sd *ShardedDetector) dispatch(recs []firewall.Record, advance time.Time) error {
+	if sd.finished {
+		return fmt.Errorf("core: ShardedDetector used after Finish")
+	}
+	if err := sd.firstErr(); err != nil {
+		return err
+	}
+	if len(sd.shards) == 1 {
+		if len(recs) > 0 || !advance.IsZero() {
+			batch := make([]firewall.Record, len(recs))
+			copy(batch, recs)
+			sd.chans[0] <- shardMsg{recs: batch, advance: advance}
+		}
+		return nil
+	}
+	parts := make([][]firewall.Record, len(sd.shards))
+	sizeHint := len(recs)/len(sd.shards) + len(recs)/8 + 1
+	for _, r := range recs {
+		i := sd.shardOf(r.Src)
+		if parts[i] == nil {
+			parts[i] = make([]firewall.Record, 0, sizeHint)
+		}
+		parts[i] = append(parts[i], r)
+	}
+	for i, part := range parts {
+		if len(part) > 0 || !advance.IsZero() {
+			sd.chans[i] <- shardMsg{recs: part, advance: advance}
+		}
+	}
+	return nil
+}
+
+// Advance closes every session idle past the timeout as of now, like
+// Detector.Advance. Pending staged records are dispatched first so
+// eviction sees them.
+func (sd *ShardedDetector) Advance(now time.Time) error {
+	if err := sd.flushBuf(); err != nil {
+		return err
+	}
+	return sd.dispatch(nil, now)
+}
+
+// Finish drains all shards, closes every open session, and merges the
+// per-shard results. It returns the first per-shard processing error,
+// if any. Call once after the final record; the scan accessors are
+// valid afterwards.
+func (sd *ShardedDetector) Finish() error {
+	if sd.finished {
+		return sd.firstErr()
+	}
+	if err := sd.flushBuf(); err != nil {
+		return err
+	}
+	sd.finished = true
+	for _, ch := range sd.chans {
+		close(ch)
+	}
+	sd.wg.Wait()
+	for _, det := range sd.shards {
+		det.Finish()
+	}
+	// Deterministic merge: concatenate each level's scans and sum the
+	// drop counters into a fresh Detector, whose Scans() ordering
+	// (start time, then source) is independent of shard interleaving.
+	merged := NewDetector(sd.cfg)
+	for li := range merged.levels {
+		for _, det := range sd.shards {
+			merged.levels[li].scans = append(merged.levels[li].scans, det.levels[li].scans...)
+			merged.levels[li].dropped += det.levels[li].dropped
+		}
+	}
+	sd.merged = merged
+	return sd.firstErr()
+}
+
+func (sd *ShardedDetector) firstErr() error {
+	if p := sd.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Merged returns the combined detector view — the same object the
+// analysis builders consume for a single Detector. Valid after Finish.
+func (sd *ShardedDetector) Merged() *Detector {
+	if !sd.finished {
+		panic("core: ShardedDetector.Merged before Finish")
+	}
+	return sd.merged
+}
+
+// Scans returns the detected scans at one aggregation level, ordered by
+// start time. Valid after Finish.
+func (sd *ShardedDetector) Scans(level netaddr6.AggLevel) []Scan {
+	return sd.Merged().Scans(level)
+}
+
+// Dropped returns the below-threshold session count at a level across
+// all shards. Valid after Finish.
+func (sd *ShardedDetector) Dropped(level netaddr6.AggLevel) uint64 {
+	return sd.Merged().Dropped(level)
+}
+
+// TotalsFor computes the Table-1 row for a level. Valid after Finish.
+func (sd *ShardedDetector) TotalsFor(level netaddr6.AggLevel) Totals {
+	return sd.Merged().TotalsFor(level)
+}

@@ -13,43 +13,58 @@ import (
 
 // Counter accumulates observations of discrete values (e.g. packet
 // lengths) and computes normalized Shannon entropy over them. The zero
-// value is ready to use.
+// value is ready to use. A single distinct value — the common case for
+// scan flows, whose probes are near-identical — is held inline; the
+// map materializes on the second distinct value, keeping single-valued
+// counters allocation-free.
 type Counter struct {
 	counts map[uint64]uint64
+	first  uint64
+	firstN uint64
 	total  uint64
 }
 
 // Observe records one occurrence of value v.
-func (c *Counter) Observe(v uint64) {
-	if c.counts == nil {
-		c.counts = make(map[uint64]uint64)
-	}
-	c.counts[v]++
-	c.total++
-}
+func (c *Counter) Observe(v uint64) { c.ObserveN(v, 1) }
 
 // ObserveN records n occurrences of value v.
 func (c *Counter) ObserveN(v uint64, n uint64) {
 	if n == 0 {
 		return
 	}
+	c.total += n
 	if c.counts == nil {
-		c.counts = make(map[uint64]uint64)
+		if c.firstN == 0 || c.first == v {
+			c.first = v
+			c.firstN += n
+			return
+		}
+		c.counts = make(map[uint64]uint64, 4)
+		c.counts[c.first] = c.firstN
+		c.firstN = 0
 	}
 	c.counts[v] += n
-	c.total += n
 }
 
 // Total returns the number of recorded observations.
 func (c *Counter) Total() uint64 { return c.total }
 
 // Distinct returns the number of distinct observed values.
-func (c *Counter) Distinct() int { return len(c.counts) }
+func (c *Counter) Distinct() int {
+	if c.counts == nil {
+		if c.firstN > 0 {
+			return 1
+		}
+		return 0
+	}
+	return len(c.counts)
+}
 
 // Shannon returns the Shannon entropy H = -Σ p·log2(p) in bits.
 // Zero observations yield 0.
 func (c *Counter) Shannon() float64 {
-	if c.total == 0 {
+	if c.total == 0 || c.counts == nil {
+		// Zero or one distinct value: entropy 0.
 		return 0
 	}
 	var h float64
@@ -76,6 +91,10 @@ func (c *Counter) Normalized() float64 {
 
 // Merge adds all observations of other into c.
 func (c *Counter) Merge(other *Counter) {
+	if other.counts == nil {
+		c.ObserveN(other.first, other.firstN)
+		return
+	}
 	for v, n := range other.counts {
 		c.ObserveN(v, n)
 	}
@@ -84,6 +103,7 @@ func (c *Counter) Merge(other *Counter) {
 // Reset discards all observations, retaining allocated capacity.
 func (c *Counter) Reset() {
 	clear(c.counts)
+	c.firstN = 0
 	c.total = 0
 }
 

@@ -1,0 +1,100 @@
+// Package pipeline is the composable streaming architecture that every
+// record consumer in this repository plugs into: a Source produces a
+// time-ordered stream of firewall records, zero or more stages
+// (collect-policy filter, day sorter, 5-duplicate artifact filter,
+// taps, tees) transform or observe it, and a terminal sink — the
+// multi-aggregation Detector (plain or sharded), the MAWI detector,
+// the dynamic-aggregation IDS engine, or an analysis collector —
+// consumes it. Everything downstream of a Source implements the one
+// RecordSink interface, so ingestion (binary firewall logs, pcap
+// captures, the CDN and MAWI simulators) composes freely with
+// processing and terminal consumers.
+//
+//	src := pipeline.NewLogSource(f)
+//	det := core.NewShardedDetector(core.DefaultConfig(), 8)
+//	p := pipeline.New(src,
+//		pipeline.Policy(firewall.DefaultCollectPolicy(),
+//			pipeline.NewArtifactStage(firewall.NewArtifactFilter(),
+//				pipeline.NewShardedSink(det))))
+//	if err := p.Run(); err != nil { ... }
+//
+// Stages pass records downstream synchronously; parallelism lives in
+// the sharded detector sink, which partitions batches across worker
+// shards. Flush propagates end-of-stream down the chain so buffered
+// stages drain and detectors finalize exactly once.
+package pipeline
+
+import (
+	"v6scan/internal/firewall"
+)
+
+// RecordSink consumes a time-ordered record stream. Every stage and
+// terminal consumer implements it.
+type RecordSink interface {
+	// Consume ingests one record.
+	Consume(r firewall.Record) error
+	// Flush signals end-of-stream: buffered stages drain downstream,
+	// detectors close open sessions. A sink is not reusable after
+	// Flush.
+	Flush() error
+}
+
+// BatchSink is implemented by sinks with a fast batch path (the
+// sharded detector). Stages that buffer runs of records hand them to
+// ConsumeBatch when the downstream supports it.
+type BatchSink interface {
+	RecordSink
+	ConsumeBatch(recs []firewall.Record) error
+}
+
+// Source produces records in non-decreasing time order, pushing each
+// into emit. Emit's error aborts production and is returned unwrapped.
+type Source interface {
+	Emit(emit func(r firewall.Record) error) error
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(emit func(r firewall.Record) error) error
+
+// Emit implements Source.
+func (f SourceFunc) Emit(emit func(r firewall.Record) error) error { return f(emit) }
+
+// Pipeline couples a source to a sink chain.
+type Pipeline struct {
+	src  Source
+	sink RecordSink
+}
+
+// New returns a pipeline streaming src into sink.
+func New(src Source, sink RecordSink) *Pipeline {
+	return &Pipeline{src: src, sink: sink}
+}
+
+// Run streams every record from the source through the sink chain,
+// then flushes it. The first error — from the source, a stage, or the
+// terminal sink — aborts the run. The chain is flushed even on a
+// mid-stream error so sinks holding resources (the sharded detector's
+// worker goroutines, buffered writers) release them; the original
+// error wins over any flush error.
+func (p *Pipeline) Run() error {
+	err := p.src.Emit(p.sink.Consume)
+	ferr := p.sink.Flush()
+	if err != nil {
+		return err
+	}
+	return ferr
+}
+
+// consumeBatch forwards a run of records to next, using the batch path
+// when available.
+func consumeBatch(next RecordSink, recs []firewall.Record) error {
+	if bs, ok := next.(BatchSink); ok {
+		return bs.ConsumeBatch(recs)
+	}
+	for _, r := range recs {
+		if err := next.Consume(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/ids"
+)
+
+// SinkFunc adapts a record function to RecordSink; Flush is a no-op.
+type SinkFunc func(r firewall.Record) error
+
+// Consume implements RecordSink.
+func (f SinkFunc) Consume(r firewall.Record) error { return f(r) }
+
+// Flush implements RecordSink.
+func (f SinkFunc) Flush() error { return nil }
+
+// Collector adapts an error-free accumulator (the analysis package's
+// HeatmapCollector.Add, DNSCollector.Add, …) to RecordSink.
+func Collector(add func(r firewall.Record)) RecordSink {
+	return SinkFunc(func(r firewall.Record) error {
+		add(r)
+		return nil
+	})
+}
+
+// Discard drops every record; useful as a Tee branch terminator.
+var Discard RecordSink = SinkFunc(func(firewall.Record) error { return nil })
+
+// DetectorSink terminates a pipeline in the multi-aggregation scan
+// detector. Flush calls Finish, after which the detector's scan
+// accessors are valid.
+type DetectorSink struct {
+	D *core.Detector
+}
+
+// NewDetectorSink wraps a detector.
+func NewDetectorSink(d *core.Detector) *DetectorSink { return &DetectorSink{D: d} }
+
+// Consume implements RecordSink.
+func (s *DetectorSink) Consume(r firewall.Record) error { return s.D.Process(r) }
+
+// ConsumeBatch implements BatchSink.
+func (s *DetectorSink) ConsumeBatch(recs []firewall.Record) error {
+	for _, r := range recs {
+		if err := s.D.Process(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements RecordSink.
+func (s *DetectorSink) Flush() error {
+	s.D.Finish()
+	return nil
+}
+
+// ShardedSink terminates a pipeline in the sharded detector,
+// forwarding batches to its parallel ProcessBatch path. Flush calls
+// Finish, which merges the shards and surfaces any worker error.
+type ShardedSink struct {
+	D *core.ShardedDetector
+}
+
+// NewShardedSink wraps a sharded detector.
+func NewShardedSink(d *core.ShardedDetector) *ShardedSink { return &ShardedSink{D: d} }
+
+// Consume implements RecordSink via the detector's staged batching.
+func (s *ShardedSink) Consume(r firewall.Record) error { return s.D.Process(r) }
+
+// ConsumeBatch implements BatchSink.
+func (s *ShardedSink) ConsumeBatch(recs []firewall.Record) error { return s.D.ProcessBatch(recs) }
+
+// Flush implements RecordSink.
+func (s *ShardedSink) Flush() error { return s.D.Finish() }
+
+// MAWISink terminates a pipeline in a capture-window MAWI detector;
+// Flush stores the window's scans in Scans.
+type MAWISink struct {
+	D     *core.MAWIDetector
+	Scans []core.MAWIScan
+}
+
+// NewMAWISink wraps a MAWI detector.
+func NewMAWISink(d *core.MAWIDetector) *MAWISink { return &MAWISink{D: d} }
+
+// Consume implements RecordSink.
+func (s *MAWISink) Consume(r firewall.Record) error {
+	s.D.Process(r)
+	return nil
+}
+
+// Flush implements RecordSink.
+func (s *MAWISink) Flush() error {
+	s.Scans = s.D.Finish()
+	return nil
+}
+
+// IDSSink terminates a pipeline in the dynamic-aggregation IDS engine;
+// Flush stores the accumulated alerts in Alerts.
+type IDSSink struct {
+	E      *ids.Engine
+	Alerts []ids.Alert
+}
+
+// NewIDSSink wraps an IDS engine.
+func NewIDSSink(e *ids.Engine) *IDSSink { return &IDSSink{E: e} }
+
+// Consume implements RecordSink.
+func (s *IDSSink) Consume(r firewall.Record) error {
+	s.E.Process(r)
+	return nil
+}
+
+// Flush implements RecordSink.
+func (s *IDSSink) Flush() error {
+	s.Alerts = s.E.Flush()
+	return nil
+}
+
+// LogSink writes every record to a binary firewall log; Flush drains
+// the writer's buffer.
+type LogSink struct {
+	W *firewall.Writer
+}
+
+// NewLogSink wraps a log writer.
+func NewLogSink(w *firewall.Writer) *LogSink { return &LogSink{W: w} }
+
+// Consume implements RecordSink.
+func (s *LogSink) Consume(r firewall.Record) error { return s.W.Write(r) }
+
+// Flush implements RecordSink.
+func (s *LogSink) Flush() error { return s.W.Flush() }

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"io"
+
+	"v6scan/internal/firewall"
+	"v6scan/internal/layers"
+	"v6scan/internal/pcap"
+)
+
+// SliceSource emits an in-memory record slice.
+type SliceSource []firewall.Record
+
+// Emit implements Source.
+func (s SliceSource) Emit(emit func(r firewall.Record) error) error {
+	for _, r := range s {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogSource streams records from a binary firewall log (the
+// cmd/telescope-sim output format). Logs are written in time order, so
+// no sorting stage is needed.
+type LogSource struct {
+	r *firewall.Reader
+}
+
+// NewLogSource returns a source reading the binary log format from r.
+func NewLogSource(r io.Reader) *LogSource {
+	return &LogSource{r: firewall.NewReader(r)}
+}
+
+// Emit implements Source.
+func (s *LogSource) Emit(emit func(r firewall.Record) error) error {
+	for {
+		rec, err := s.r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// PcapSource streams decoded IPv6 frames from a classic pcap capture
+// (Ethernet or raw IPv6 link types), skipping undecodable packets.
+// Captures are normally time-ordered; callers with unordered captures
+// should collect into a slice and sort, as cmd/v6scan does.
+type PcapSource struct {
+	r       io.Reader
+	skipped int
+}
+
+// NewPcapSource returns a source decoding the pcap stream r.
+func NewPcapSource(r io.Reader) *PcapSource { return &PcapSource{r: r} }
+
+// Skipped reports how many packets failed to decode; valid after Emit.
+func (s *PcapSource) Skipped() int { return s.skipped }
+
+// Emit implements Source.
+func (s *PcapSource) Emit(emit func(r firewall.Record) error) error {
+	pr, err := pcap.NewReader(s.r)
+	if err != nil {
+		return err
+	}
+	var d layers.Decoded
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if perr := layers.ParseFrame(p.Data, pr.Header().LinkType, &d); perr != nil {
+			s.skipped++
+			continue
+		}
+		if err := emit(firewall.FromDecoded(p.Timestamp, &d)); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"sort"
+	"time"
+
+	"v6scan/internal/firewall"
+)
+
+// funcStage implements RecordSink with closures; all simple stages are
+// built on it.
+type funcStage struct {
+	consume func(r firewall.Record) error
+	flush   func() error
+}
+
+func (s *funcStage) Consume(r firewall.Record) error { return s.consume(r) }
+func (s *funcStage) Flush() error                    { return s.flush() }
+
+// Tap invokes fn on every record before passing it downstream —
+// the hook analysis collectors attach with.
+func Tap(fn func(r firewall.Record), next RecordSink) RecordSink {
+	return &funcStage{
+		consume: func(r firewall.Record) error {
+			fn(r)
+			return next.Consume(r)
+		},
+		flush: next.Flush,
+	}
+}
+
+// Filter passes only records satisfying pred downstream.
+func Filter(pred func(r firewall.Record) bool, next RecordSink) RecordSink {
+	return &funcStage{
+		consume: func(r firewall.Record) error {
+			if !pred(r) {
+				return nil
+			}
+			return next.Consume(r)
+		},
+		flush: next.Flush,
+	}
+}
+
+// Policy applies a firewall collection policy (the CDN's no-TCP/80,
+// no-TCP/443, no-ICMPv6 rule) as a filter stage.
+func Policy(p firewall.CollectPolicy, next RecordSink) RecordSink {
+	return Filter(p.Admit, next)
+}
+
+// Tee duplicates the stream into every sink. Consume fans out in
+// argument order and stops at the first error; Flush always reaches
+// every sink — so each releases its resources — and returns the first
+// error encountered.
+func Tee(sinks ...RecordSink) RecordSink {
+	return &funcStage{
+		consume: func(r firewall.Record) error {
+			for _, s := range sinks {
+				if err := s.Consume(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		flush: func() error {
+			var first error
+			for _, s := range sinks {
+				if err := s.Flush(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+	}
+}
+
+// Counter counts records passing through, for the pipeline statistics
+// every consumer reports (records generated / logged / detected).
+type Counter struct {
+	n    uint64
+	next RecordSink
+}
+
+// NewCounter returns a counting pass-through stage.
+func NewCounter(next RecordSink) *Counter { return &Counter{next: next} }
+
+// Consume implements RecordSink.
+func (c *Counter) Consume(r firewall.Record) error {
+	c.n++
+	return c.next.Consume(r)
+}
+
+// ConsumeBatch implements BatchSink so counters do not break a
+// downstream batch path.
+func (c *Counter) ConsumeBatch(recs []firewall.Record) error {
+	c.n += uint64(len(recs))
+	return consumeBatch(c.next, recs)
+}
+
+// Flush implements RecordSink.
+func (c *Counter) Flush() error { return c.next.Flush() }
+
+// Count returns the number of records seen so far.
+func (c *Counter) Count() uint64 { return c.n }
+
+// DaySort buffers records per UTC day and forwards each completed day
+// stably sorted by timestamp — the ordering contract the detectors and
+// the artifact filter require from per-actor-ordered simulator output.
+// Input days must arrive in order (records of day N all precede day
+// N+1); within a day any order is accepted.
+type DaySort struct {
+	next RecordSink
+	day  time.Time
+	buf  []firewall.Record
+}
+
+// NewDaySort returns a day-sorting stage.
+func NewDaySort(next RecordSink) *DaySort { return &DaySort{next: next} }
+
+// Consume implements RecordSink.
+func (d *DaySort) Consume(r firewall.Record) error {
+	day := r.Time.UTC().Truncate(24 * time.Hour)
+	if !d.day.IsZero() && day.After(d.day) {
+		if err := d.emit(); err != nil {
+			return err
+		}
+	}
+	d.day = day
+	d.buf = append(d.buf, r)
+	return nil
+}
+
+// Flush drains the buffered day downstream.
+func (d *DaySort) Flush() error {
+	if err := d.emit(); err != nil {
+		return err
+	}
+	return d.next.Flush()
+}
+
+func (d *DaySort) emit() error {
+	if len(d.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(d.buf, func(i, j int) bool { return d.buf[i].Time.Before(d.buf[j].Time) })
+	err := consumeBatch(d.next, d.buf)
+	d.buf = d.buf[:0]
+	return err
+}
+
+// ArtifactStage runs the 5-duplicate artifact pre-filter as a pipeline
+// stage. The caller keeps the filter to read its Stats after the run.
+type ArtifactStage struct {
+	f    *firewall.ArtifactFilter
+	next RecordSink
+}
+
+// NewArtifactStage wraps an artifact filter around next.
+func NewArtifactStage(f *firewall.ArtifactFilter, next RecordSink) *ArtifactStage {
+	return &ArtifactStage{f: f, next: next}
+}
+
+// Consume implements RecordSink; completed days' survivors flow
+// downstream as batches.
+func (a *ArtifactStage) Consume(r firewall.Record) error {
+	if out := a.f.Push(r); len(out) > 0 {
+		return consumeBatch(a.next, out)
+	}
+	return nil
+}
+
+// Flush finalizes the buffered day and drains downstream.
+func (a *ArtifactStage) Flush() error {
+	if out := a.f.Close(); len(out) > 0 {
+		if err := consumeBatch(a.next, out); err != nil {
+			return err
+		}
+	}
+	return a.next.Flush()
+}

@@ -1,14 +1,14 @@
 // Package sim drives end-to-end CDN experiments: it wires a telescope,
 // the Table-2 scan-actor census, and the artifact population into one
-// day-by-day record stream, applies the collection policy and the
-// 5-duplicate artifact filter, and feeds the survivors to the
-// multi-aggregation scan detector. Every table and figure of the
-// paper's CDN sections is computed from the outputs of a Run.
+// day-by-day record stream and runs it through the standard pipeline —
+// collection policy, day sorter, 5-duplicate artifact filter, and the
+// multi-aggregation scan detector (sharded across workers when
+// Config.Shards > 1). Every table and figure of the paper's CDN
+// sections is computed from the outputs of a Run.
 package sim
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"v6scan/internal/artifacts"
@@ -16,6 +16,7 @@ import (
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
 	"v6scan/internal/netaddr6"
+	"v6scan/internal/pipeline"
 	"v6scan/internal/scanner"
 	"v6scan/internal/telescope"
 )
@@ -26,12 +27,15 @@ type Config struct {
 	Census    scanner.CensusConfig
 	Artifacts artifacts.Config
 	Detector  core.Config
-	// RawTap, when set, receives every record before policy filtering
+	// Shards > 1 runs detection on the sharded detector with that many
+	// worker shards; results are identical to the single-shard path.
+	Shards int
+	// RawSink, when set, receives every record before policy filtering
 	// (Figure 1 consumes the pre-filter view).
-	RawTap func(firewall.Record)
-	// FilteredTap, when set, receives every record surviving the
+	RawSink pipeline.RecordSink
+	// FilteredSink, when set, receives every record surviving the
 	// artifact filter, in detector order.
-	FilteredTap func(firewall.Record)
+	FilteredSink pipeline.RecordSink
 }
 
 // DefaultConfig returns a full-window, laptop-scale experiment.
@@ -68,7 +72,7 @@ func (r *Result) Scans(level netaddr6.AggLevel) []core.Scan {
 }
 
 // Run executes the experiment. It is deterministic under the config's
-// seeds.
+// seeds, regardless of shard count.
 func Run(cfg Config) (*Result, error) {
 	db := asdb.New()
 	tele, err := telescope.New(cfg.Telescope, db)
@@ -83,56 +87,71 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Detector.WeekEpoch.IsZero() {
 		cfg.Detector.WeekEpoch = cfg.Census.Start
 	}
-	det := core.NewDetector(cfg.Detector)
-	policy := firewall.DefaultCollectPolicy()
+
+	// Terminal sink: plain or sharded detector.
+	var (
+		det     *core.Detector
+		sharded *core.ShardedDetector
+		detSink pipeline.RecordSink
+	)
+	if cfg.Shards > 1 {
+		sharded = core.NewShardedDetector(cfg.Detector, cfg.Shards)
+		detSink = pipeline.NewShardedSink(sharded)
+	} else {
+		det = core.NewDetector(cfg.Detector)
+		detSink = pipeline.NewDetectorSink(det)
+	}
+
+	// Assemble the chain back to front: artifact filter → detected
+	// counter (+ filtered tap) → detector; day sorter → filter; policy
+	// → sorter; generated counter (+ raw tap) → policy.
 	filter := firewall.NewArtifactFilter()
+	var afterFilter pipeline.RecordSink = detSink
+	if cfg.FilteredSink != nil {
+		afterFilter = pipeline.Tee(cfg.FilteredSink, afterFilter)
+	}
+	detected := pipeline.NewCounter(afterFilter)
+	logged := pipeline.NewCounter(pipeline.NewDaySort(pipeline.NewArtifactStage(filter, detected)))
+	var head pipeline.RecordSink = pipeline.Policy(firewall.DefaultCollectPolicy(), logged)
+	if cfg.RawSink != nil {
+		head = pipeline.Tee(cfg.RawSink, head)
+	}
+	generated := pipeline.NewCounter(head)
 
-	res := &Result{Telescope: tele, DB: db, Census: census, Detector: det}
-
-	var dayBuf []firewall.Record
-	process := func(recs []firewall.Record) error {
-		for _, r := range recs {
-			res.RecordsDetected++
-			if cfg.FilteredTap != nil {
-				cfg.FilteredTap(r)
+	src := pipeline.SourceFunc(func(emit func(firewall.Record) error) error {
+		var emitErr error
+		collect := func(r firewall.Record) {
+			if emitErr == nil {
+				emitErr = emit(r)
 			}
-			if err := det.Process(r); err != nil {
-				return err
+		}
+		for day := cfg.Census.Start; day.Before(cfg.Census.End); day = day.Add(24 * time.Hour) {
+			census.EmitDay(day, collect)
+			arts.EmitDay(day, collect)
+			if emitErr != nil {
+				return emitErr
 			}
 		}
 		return nil
+	})
+
+	if err := pipeline.New(src, generated).Run(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if sharded != nil {
+		det = sharded.Merged()
 	}
 
-	for day := cfg.Census.Start; day.Before(cfg.Census.End); day = day.Add(24 * time.Hour) {
-		dayBuf = dayBuf[:0]
-		collect := func(r firewall.Record) {
-			res.RecordsGenerated++
-			if cfg.RawTap != nil {
-				cfg.RawTap(r)
-			}
-			if !policy.Admit(r) {
-				return
-			}
-			res.RecordsLogged++
-			dayBuf = append(dayBuf, r)
-		}
-		census.EmitDay(day, collect)
-		arts.EmitDay(day, collect)
-		sort.SliceStable(dayBuf, func(i, j int) bool { return dayBuf[i].Time.Before(dayBuf[j].Time) })
-		for _, r := range dayBuf {
-			if out := filter.Push(r); len(out) > 0 {
-				if err := process(out); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if err := process(filter.Close()); err != nil {
-		return nil, err
-	}
-	det.Finish()
-	res.Filter = filter.Stats()
-	return res, nil
+	return &Result{
+		Telescope:        tele,
+		DB:               db,
+		Census:           census,
+		Detector:         det,
+		Filter:           filter.Stats(),
+		RecordsGenerated: generated.Count(),
+		RecordsLogged:    logged.Count(),
+		RecordsDetected:  detected.Count(),
+	}, nil
 }
 
 // QuickConfig returns a reduced-window configuration for tests: a

@@ -242,6 +242,39 @@ func TestTimeoutInsensitivity(t *testing.T) {
 	}
 }
 
+func TestShardedRunMatchesSerial(t *testing.T) {
+	start := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	serial, err := Run(QuickConfig(600, 8, start, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig(600, 8, start, 7)
+	cfg.Shards = 4
+	sharded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.RecordsGenerated != sharded.RecordsGenerated ||
+		serial.RecordsLogged != sharded.RecordsLogged ||
+		serial.RecordsDetected != sharded.RecordsDetected {
+		t.Errorf("counters differ: %d/%d/%d vs %d/%d/%d",
+			serial.RecordsGenerated, serial.RecordsLogged, serial.RecordsDetected,
+			sharded.RecordsGenerated, sharded.RecordsLogged, sharded.RecordsDetected)
+	}
+	for _, lvl := range netaddr6.Levels() {
+		ss, sh := serial.Scans(lvl), sharded.Scans(lvl)
+		if len(ss) != len(sh) {
+			t.Fatalf("%v scan counts differ: %d vs %d", lvl, len(ss), len(sh))
+		}
+		for i := range ss {
+			if ss[i].Source != sh[i].Source || ss[i].Packets != sh[i].Packets ||
+				ss[i].Dsts != sh[i].Dsts || !ss[i].Start.Equal(sh[i].Start) {
+				t.Fatalf("%v scan %d differs: %+v vs %+v", lvl, i, ss[i], sh[i])
+			}
+		}
+	}
+}
+
 func TestDeterministicRuns(t *testing.T) {
 	start := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
 	a, err := Run(QuickConfig(600, 8, start, 7))

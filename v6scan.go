@@ -5,31 +5,43 @@
 //
 // The package is a facade over the internal subsystems:
 //
+//   - the streaming pipeline that every consumer plugs into — sources
+//     (record slices, binary logs, pcap captures), stages (collection
+//     policy, day sorter, artifact filter, taps, tees) and terminal
+//     sinks, all behind one RecordSink interface: NewPipeline and the
+//     New*Source / New*Sink constructors;
 //   - scan detection with multi-level source aggregation (the paper's
-//     central methodological contribution): NewDetector / Detector;
+//     central methodological contribution): NewDetector / Detector,
+//     and the parallel sharded variant NewShardedDetector whose output
+//     is byte-identical at any shard count;
 //   - the MAWI-style detector (extended Fukuda–Heidemann definition):
 //     NewMAWIDetector;
 //   - the CDN firewall-log record schema, binary codec, collection
 //     policy and 5-duplicate artifact filter: Record, ReadLog,
 //     WriteLog, NewArtifactFilter;
 //   - packet decoding and classic pcap I/O for feeding captures into
-//     detection: RecordsFromPcap;
+//     detection: RecordsFromPcap / NewPcapSource;
 //   - simulation of the paper's two vantage points and its scan-actor
 //     census, for experimentation and regression of the published
 //     results: RunCDNExperiment, NewMAWISimulator;
 //   - analysis builders that regenerate every table and figure of the
 //     paper: the Build* functions.
 //
-// Quickstart:
+// Quickstart — compose a pipeline from a record source through the
+// standard filter stages into a sharded detector:
 //
-//	det := v6scan.NewDetector(v6scan.DefaultDetectorConfig())
-//	for _, rec := range records {        // time-ordered
-//	    if err := det.Process(rec); err != nil { ... }
-//	}
-//	det.Finish()
+//	det := v6scan.NewShardedDetector(v6scan.DefaultDetectorConfig(), 8)
+//	p := v6scan.NewPipeline(v6scan.NewLogSource(f),
+//	    v6scan.PolicyStage(v6scan.DefaultCollectPolicy(),
+//	        v6scan.NewArtifactStage(v6scan.NewArtifactFilter(),
+//	            v6scan.NewShardedSink(det))))
+//	if err := p.Run(); err != nil { ... }
 //	for _, scan := range det.Scans(v6scan.Agg64) {
 //	    fmt.Println(scan.Source, scan.Packets, scan.Dsts)
 //	}
+//
+// A plain Detector fed record by record (Process / Finish / Scans)
+// remains fully supported for single-goroutine use.
 package v6scan
 
 import (
@@ -41,10 +53,9 @@ import (
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
 	"v6scan/internal/ids"
-	"v6scan/internal/layers"
 	"v6scan/internal/mawi"
 	"v6scan/internal/netaddr6"
-	"v6scan/internal/pcap"
+	"v6scan/internal/pipeline"
 	"v6scan/internal/scanner"
 	"v6scan/internal/sim"
 	"v6scan/internal/telescope"
@@ -147,32 +158,103 @@ func WriteLog(w io.Writer) *LogWriter { return firewall.NewWriter(w) }
 
 // RecordsFromPcap decodes a classic pcap stream (Ethernet or raw IPv6
 // link types) into records, skipping undecodable packets. The second
-// return value reports how many packets were skipped.
+// return value reports how many packets were skipped. Streaming
+// consumers can use NewPcapSource directly instead of materializing
+// the slice.
 func RecordsFromPcap(r io.Reader) ([]Record, int, error) {
-	pr, err := pcap.NewReader(r)
-	if err != nil {
-		return nil, 0, err
-	}
-	var (
-		out     []Record
-		skipped int
-		d       layers.Decoded
-	)
-	for {
-		p, err := pr.Next()
-		if err == io.EOF {
-			return out, skipped, nil
-		}
-		if err != nil {
-			return out, skipped, err
-		}
-		if perr := layers.ParseFrame(p.Data, pr.Header().LinkType, &d); perr != nil {
-			skipped++
-			continue
-		}
-		out = append(out, firewall.FromDecoded(p.Timestamp, &d))
-	}
+	src := pipeline.NewPcapSource(r)
+	var out []Record
+	err := src.Emit(func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, src.Skipped(), err
 }
+
+// Pipeline types: the composable streaming architecture every record
+// consumer plugs into (see internal/pipeline).
+type (
+	// Pipeline couples a record source to a sink chain.
+	Pipeline = pipeline.Pipeline
+	// RecordSink is the one interface every stage and terminal
+	// consumer implements.
+	RecordSink = pipeline.RecordSink
+	// BatchSink marks sinks with a fast batch path (the sharded
+	// detector).
+	BatchSink = pipeline.BatchSink
+	// RecordSource produces a time-ordered record stream.
+	RecordSource = pipeline.Source
+	// SourceFunc adapts a function to RecordSource.
+	SourceFunc = pipeline.SourceFunc
+	// SinkFunc adapts a function to RecordSink.
+	SinkFunc = pipeline.SinkFunc
+	// SliceSource emits an in-memory record slice.
+	SliceSource = pipeline.SliceSource
+	// LogSource streams records from a binary firewall log.
+	LogSource = pipeline.LogSource
+	// PcapSource streams decoded IPv6 frames from a classic pcap
+	// capture.
+	PcapSource = pipeline.PcapSource
+	// PipelineCounter counts records passing through a chain.
+	PipelineCounter = pipeline.Counter
+	// DaySortStage buffers and sorts each UTC day of a per-actor
+	// ordered stream.
+	DaySortStage = pipeline.DaySort
+	// ArtifactStage runs the 5-duplicate pre-filter as a stage.
+	ArtifactStage = pipeline.ArtifactStage
+	// DetectorSink terminates a pipeline in the scan detector.
+	DetectorSink = pipeline.DetectorSink
+	// ShardedSink terminates a pipeline in the sharded detector.
+	ShardedSink = pipeline.ShardedSink
+	// MAWISink terminates a pipeline in a MAWI capture-window detector.
+	MAWISink = pipeline.MAWISink
+	// IDSSink terminates a pipeline in the dynamic-aggregation engine.
+	IDSSink = pipeline.IDSSink
+	// LogSink writes the stream to a binary firewall log.
+	LogSink = pipeline.LogSink
+	// ShardedDetector runs multi-level detection across parallel
+	// worker shards with byte-identical output at any shard count.
+	ShardedDetector = core.ShardedDetector
+)
+
+// NewPipeline returns a pipeline streaming src into sink.
+func NewPipeline(src RecordSource, sink RecordSink) *Pipeline { return pipeline.New(src, sink) }
+
+// NewShardedDetector returns a scan detector partitioning session
+// state by aggregated source prefix across n parallel worker shards.
+// Scans() output is identical to a single Detector's for any n.
+func NewShardedDetector(cfg DetectorConfig, n int) *ShardedDetector {
+	return core.NewShardedDetector(cfg, n)
+}
+
+// Pipeline source constructors.
+func NewLogSource(r io.Reader) *LogSource      { return pipeline.NewLogSource(r) }
+func NewPcapSource(r io.Reader) *PcapSource    { return pipeline.NewPcapSource(r) }
+func NewSliceSource(recs []Record) SliceSource { return SliceSource(recs) }
+
+// Pipeline stage constructors.
+func TapStage(fn func(Record), next RecordSink) RecordSink { return pipeline.Tap(fn, next) }
+func FilterStage(pred func(Record) bool, next RecordSink) RecordSink {
+	return pipeline.Filter(pred, next)
+}
+func PolicyStage(p CollectPolicy, next RecordSink) RecordSink { return pipeline.Policy(p, next) }
+func TeeStage(sinks ...RecordSink) RecordSink                 { return pipeline.Tee(sinks...) }
+func NewPipelineCounter(next RecordSink) *PipelineCounter     { return pipeline.NewCounter(next) }
+func NewDaySortStage(next RecordSink) *DaySortStage           { return pipeline.NewDaySort(next) }
+func NewArtifactStage(f *ArtifactFilter, next RecordSink) *ArtifactStage {
+	return pipeline.NewArtifactStage(f, next)
+}
+
+// Pipeline sink constructors.
+func NewDetectorSink(d *Detector) *DetectorSink      { return pipeline.NewDetectorSink(d) }
+func NewShardedSink(d *ShardedDetector) *ShardedSink { return pipeline.NewShardedSink(d) }
+func NewMAWISink(d *MAWIDetector) *MAWISink          { return pipeline.NewMAWISink(d) }
+func NewIDSSink(e *IDSEngine) *IDSSink               { return pipeline.NewIDSSink(e) }
+func NewLogSink(w *LogWriter) *LogSink               { return pipeline.NewLogSink(w) }
+func CollectorSink(add func(Record)) RecordSink      { return pipeline.Collector(add) }
+
+// DiscardSink drops every record; useful as a tee-branch terminator.
+var DiscardSink = pipeline.Discard
 
 // Simulation facade.
 type (
