@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (fig1,tab1,sens,fig2,fig3,tab2,fig4,tab3,dns,fig5,fig6,fig7,fig8,a1,a4,icmp); empty = all")
+		experiment = flag.String("experiment", "", "experiment id (fig1,tab1,sens,fig2,fig3,tab2,fig4,tab3,dns,fig5,fig6,fig7,fig8,a1,a4,icmp,ids); empty = all")
 		full       = flag.Bool("full", false, "use the complete Jan 2021–Mar 2022 window (slow)")
 		machines   = flag.Int("machines", 2500, "telescope machines")
 		shards     = flag.Int("shards", runtime.NumCPU(), "detector worker shards (1 = serial)")
@@ -39,17 +39,20 @@ func main() {
 	}
 	r := newRunner(start, weeks, *machines, *full)
 	r.shards = *shards
+	// The ids experiment replays the filtered stream after the CDN run;
+	// only retain it when that experiment will actually execute.
+	r.keepFiltered = *experiment == "" || *experiment == "ids"
 
 	cdnExperiments := map[string]func(){
 		"fig1": r.fig1, "tab1": r.tab1, "sens": r.sens, "fig2": r.fig2,
 		"fig3": r.fig3, "tab2": r.tab2, "fig4": r.fig4, "tab3": r.tab3,
 		"dns": r.dns, "fig8": r.fig8, "a1": r.a1, "a4": r.a4,
-		"case32": r.case32,
+		"case32": r.case32, "ids": r.ids,
 	}
 	mawiExperiments := map[string]func(){
 		"fig5": r.fig5, "fig6": r.fig6, "fig7": r.fig7, "icmp": r.icmp,
 	}
-	order := []string{"fig1", "tab1", "sens", "fig2", "fig3", "tab2", "fig4", "tab3", "dns", "fig8", "a1", "a4", "case32", "fig5", "fig6", "fig7", "icmp"}
+	order := []string{"fig1", "tab1", "sens", "fig2", "fig3", "tab2", "fig4", "tab3", "dns", "fig8", "a1", "a4", "case32", "ids", "fig5", "fig6", "fig7", "icmp"}
 
 	if *experiment != "" {
 		if fn, ok := cdnExperiments[*experiment]; ok {
@@ -79,9 +82,11 @@ type runner struct {
 	full     bool
 	shards   int
 
-	res  *v6scan.ExperimentResult
-	heat *v6scan.HeatmapCollector
-	dnsC *v6scan.DNSCollector
+	res          *v6scan.ExperimentResult
+	heat         *v6scan.HeatmapCollector
+	dnsC         *v6scan.DNSCollector
+	keepFiltered bool
+	filtered     []v6scan.Record
 }
 
 func newRunner(start time.Time, weeks, machines int, full bool) *runner {
@@ -110,6 +115,9 @@ func (r *runner) cdn() *v6scan.ExperimentResult {
 	r.dnsC = v6scan.NewDNSCollector(res.Telescope, 0)
 	if err := v6scan.NewPipeline(v6scan.NewSliceSource(filtered), v6scan.CollectorSink(r.dnsC.Add)).Run(); err != nil {
 		log.Fatal(err)
+	}
+	if r.keepFiltered {
+		r.filtered = filtered
 	}
 	fmt.Printf("[cdn run: %d machines, %d weeks, %d shards, %d records detected, %v]\n\n",
 		res.Telescope.NumMachines(), r.weeks, r.shards, res.RecordsDetected, time.Since(t0).Round(time.Millisecond))
@@ -264,6 +272,39 @@ func (r *runner) case32() {
 		log.Fatal(err)
 	}
 	fmt.Println(v6scan.BuildCaseStudy32(res.Detector, scanner.Alloc(scanner.ASNOfRank(18))).Render())
+}
+
+func (r *runner) ids() {
+	r.cdn() // populates the filtered record stream
+	header("ids", "inline dynamic-aggregation IDS (Discussion)")
+	cfg := v6scan.DefaultIDSConfig()
+	sink := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, r.shards))
+	t0 := time.Now()
+	if err := v6scan.NewPipeline(v6scan.NewSliceSource(r.filtered), sink).Run(); err != nil {
+		log.Fatal(err)
+	}
+	processed := len(r.filtered)
+	r.filtered = nil // only this experiment reads the stream; release it
+	escalated := 0
+	byLevel := map[v6scan.AggLevel]int{}
+	for _, a := range sink.Alerts {
+		byLevel[a.Level]++
+		if a.Escalated {
+			escalated++
+		}
+	}
+	fmt.Printf("%d records through %d shards in %v: %d blocklist recommendations (%d escalated)\n",
+		processed, r.shards, time.Since(t0).Round(time.Millisecond), len(sink.Alerts), escalated)
+	for _, lvl := range cfg.Levels {
+		if byLevel[lvl] > 0 {
+			fmt.Printf("  %-5v %d alerts\n", lvl, byLevel[lvl])
+		}
+	}
+	show := min(5, len(sink.Alerts))
+	for _, a := range sink.Alerts[:show] {
+		fmt.Printf("  %s\n", a)
+	}
+	fmt.Println()
 }
 
 // --- MAWI experiments ---

@@ -4,6 +4,19 @@
 // aggregation levels. Input streams through the standard pipeline —
 // optional 5-duplicate artifact pre-filter into the scan detector,
 // sharded across worker goroutines with -shards.
+//
+// With -ids the offline detector is replaced by the inline
+// dynamic-aggregation IDS engine (sketched destination sets, bounded
+// memory): output is the blocklist-recommendation alert list instead
+// of per-level scan tables. -shards applies to the IDS path too,
+// partitioning candidate state by coarsest-level source prefix across
+// worker shards; alerts are byte-identical at any shard count (unless
+// the engine's MaxCandidates bound kicks in, which each shard applies
+// to its own tables).
+//
+//	v6scan -i telescope.log                  # offline detector
+//	v6scan -i telescope.log -shards 8        # sharded detector
+//	v6scan -i telescope.log -ids -shards 8   # sharded inline IDS
 package main
 
 import (
@@ -28,7 +41,8 @@ func main() {
 		levels  = flag.String("agg", "128,64,48", "comma-separated aggregation prefix lengths")
 		topN    = flag.Int("top", 20, "print at most N scans per level (0 = all)")
 		filter  = flag.Bool("filter", false, "apply the 5-duplicate artifact pre-filter first")
-		shards  = flag.Int("shards", 1, "detector worker shards (1 = serial; output is identical)")
+		shards  = flag.Int("shards", 1, "detector/IDS worker shards (1 = serial; output is identical)")
+		useIDS  = flag.Bool("ids", false, "run the inline dynamic-aggregation IDS instead of the offline detector")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -55,6 +69,11 @@ func main() {
 	src, err := openSource(*input)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *useIDS {
+		runIDS(src, cfg, *shards, *filter, *topN)
+		return
 	}
 
 	// Sink chain: optional artifact filter → counter → detector (plain
@@ -97,6 +116,58 @@ func main() {
 				s.Source, s.Packets, s.Dsts, s.NumPorts(), s.SrcAddrs,
 				s.Duration().Round(time.Second), s.Class())
 		}
+	}
+}
+
+// runIDS streams the source through the inline dynamic-aggregation
+// engine (sharded when -shards > 1) and prints the merged alert list —
+// the blocklist recommendations the Discussion section calls for.
+func runIDS(src v6scan.RecordSource, det v6scan.DetectorConfig, shards int, filter bool, topN int) {
+	cfg := v6scan.DefaultIDSConfig()
+	cfg.MinDsts = det.MinDsts
+	cfg.Timeout = det.Timeout
+	cfg.Levels = det.Levels
+
+	// Tick once per minute of stream time, the inline-deployment
+	// cadence: idle candidates are evicted (and their alerts emitted)
+	// mid-stream instead of all pooling until Flush.
+	const tickEvery = time.Minute
+	var idsSink v6scan.RecordSink
+	var drained func() []v6scan.IDSAlert
+	var dropped func() uint64
+	if shards > 1 {
+		s := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, shards))
+		s.TickEvery = tickEvery
+		idsSink = s
+		drained = func() []v6scan.IDSAlert { return s.Alerts }
+		dropped = s.E.DroppedCandidates
+	} else {
+		s := v6scan.NewIDSSink(v6scan.NewIDS(cfg))
+		s.TickEvery = tickEvery
+		idsSink = s
+		drained = func() []v6scan.IDSAlert { return s.Alerts }
+		dropped = s.E.DroppedCandidates
+	}
+	counted := v6scan.NewPipelineCounter(idsSink)
+	var sink v6scan.RecordSink = counted
+	if filter {
+		sink = v6scan.NewArtifactStage(v6scan.NewArtifactFilter(), sink)
+	}
+	if err := v6scan.NewPipeline(src, sink).Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	alerts := drained()
+	fmt.Printf("processed %d records: %d IDS alerts\n", counted.Count(), len(alerts))
+	if n := dropped(); n > 0 {
+		fmt.Printf("  warning: %d candidates dropped by the MaxCandidates bound — alerts are incomplete\n", n)
+	}
+	for i, a := range alerts {
+		if topN > 0 && i >= topN {
+			fmt.Printf("  … %d more\n", len(alerts)-i)
+			break
+		}
+		fmt.Printf("  %s\n", a)
 	}
 }
 

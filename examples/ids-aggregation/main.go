@@ -12,9 +12,15 @@
 // multi-aggregation detector and the online IDS engine, showing which
 // aggregation level each actor is caught at and what a blocklist
 // entry should be.
+//
+// The IDS side runs the sharded engine: -shards picks the worker
+// count (default 1), and the alert list is byte-identical at any
+// value — partitioning by coarsest-level source prefix keeps each
+// scanning entity's multi-level state on one shard.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,6 +33,9 @@ import (
 )
 
 func main() {
+	shards := flag.Int("shards", 1, "IDS worker shards (alerts are identical at any count)")
+	flag.Parse()
+
 	cfg := v6scan.DefaultDetectorConfig()
 	cfg.Levels = []v6scan.AggLevel{v6scan.Agg128, v6scan.Agg64, v6scan.Agg48, v6scan.Agg32}
 
@@ -59,10 +68,11 @@ func main() {
 	}
 
 	// One pipeline, two terminal sinks: the offline detector and the
-	// online dynamic-aggregation engine see the identical stream.
+	// online dynamic-aggregation engine (sharded across -shards
+	// workers) see the identical stream.
 	det := v6scan.NewDetector(cfg)
-	engine := v6scan.NewIDS(v6scan.DefaultIDSConfig())
-	idsSink := v6scan.NewIDSSink(engine)
+	engine := v6scan.NewShardedIDS(v6scan.DefaultIDSConfig(), *shards)
+	idsSink := v6scan.NewShardedIDSSink(engine)
 	p := v6scan.NewPipeline(
 		v6scan.NewSliceSource(recs),
 		v6scan.TeeStage(v6scan.NewDetectorSink(det), idsSink))

@@ -1,3 +1,3 @@
 module v6scan
 
-go 1.24
+go 1.23

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"math/bits"
+	"net/netip"
+
+	"v6scan/internal/netaddr6"
+)
+
+// CoarsestLevel returns the coarsest (smallest prefix length) of the
+// given aggregation levels — the partition level for sharded consumers:
+// every finer aggregate of a source nests inside its coarsest prefix,
+// so state at every level lands in exactly one shard.
+func CoarsestLevel(levels []netaddr6.AggLevel) netaddr6.AggLevel {
+	coarsest := levels[0]
+	for _, l := range levels {
+		if l < coarsest {
+			coarsest = l
+		}
+	}
+	return coarsest
+}
+
+// PartitionShard routes a source address to one of n shards by its
+// prefix at the partition level. Both the sharded detector and the
+// sharded IDS engine use it, so a record always lands on the same shard
+// index regardless of which consumer processes it.
+func PartitionShard(src netip.Addr, level netaddr6.AggLevel, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	key := netaddr6.ToU128(src).Mask(int(level))
+	// splitmix-style finalizer over the masked 128-bit key.
+	x := key.Hi ^ bits.RotateLeft64(key.Lo, 31)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(n))
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 	"net/netip"
 	"sync"
 	"sync/atomic"
@@ -71,12 +70,7 @@ func NewShardedDetector(cfg Config, n int) *ShardedDetector {
 
 	// Shard by the coarsest level: the smallest prefix length contains
 	// every finer aggregate of the same source.
-	coarsest := cfg.Levels[0]
-	for _, l := range cfg.Levels {
-		if l < coarsest {
-			coarsest = l
-		}
-	}
+	coarsest := CoarsestLevel(cfg.Levels)
 	sd := &ShardedDetector{
 		cfg:       cfg,
 		shardLvl:  coarsest,
@@ -126,16 +120,7 @@ func (sd *ShardedDetector) worker(i int) {
 
 // shardOf routes a source address to its shard.
 func (sd *ShardedDetector) shardOf(src netip.Addr) int {
-	if len(sd.shards) == 1 {
-		return 0
-	}
-	key := netaddr6.ToU128(src).Mask(int(sd.shardLvl))
-	// splitmix-style finalizer over the masked 128-bit key.
-	x := key.Hi ^ bits.RotateLeft64(key.Lo, 31)
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	return int(x % uint64(len(sd.shards)))
+	return PartitionShard(src, sd.shardLvl, len(sd.shards))
 }
 
 // Process ingests one record, staging it until a batch accumulates.

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"net/netip"
+
+	"v6scan/internal/netaddr6"
 )
 
 // DstSketch is a HyperLogLog cardinality estimator over destination
@@ -31,7 +33,17 @@ func NewDstSketch(precision uint8) *DstSketch {
 
 // Add observes one destination address.
 func (s *DstSketch) Add(a netip.Addr) {
-	h := hashAddr(a)
+	s.addHash(hashAddr(a))
+}
+
+// AddU128 observes one destination already in 128-bit integer form —
+// the hot-path variant for callers that convert the address once and
+// feed several sketches (the IDS engine's per-level tables).
+func (s *DstSketch) AddU128(u netaddr6.U128) {
+	s.addHash(hashU128(u.Hi, u.Lo))
+}
+
+func (s *DstSketch) addHash(h uint64) {
 	idx := h >> (64 - uint64(s.precision))
 	rest := h<<s.precision | 1<<(uint64(s.precision)-1) // avoid zero tail
 	rank := uint8(1)
@@ -85,6 +97,10 @@ func hashAddr(a netip.Addr) uint64 {
 		hi = hi<<8 | uint64(b[i])
 		lo = lo<<8 | uint64(b[i+8])
 	}
+	return hashU128(hi, lo)
+}
+
+func hashU128(hi, lo uint64) uint64 {
 	x := hi ^ (lo * 0x9E3779B97F4A7C15)
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9

@@ -21,8 +21,13 @@
 //     destinations — and escalating to the coarser prefix when it does
 //     not (the spread-source case).
 //
-// The engine is deliberately single-goroutine (callers shard by flow
-// hash, the gopacket FastHash idiom) and allocation-light.
+// Engine is single-goroutine and allocation-light: candidate tables use
+// pointer-free U128 keys, and candidates hold their first destination
+// inline, materializing the sketch only on the second distinct
+// destination — at fine aggregation levels the overwhelming majority of
+// candidates are short-lived background sources that never need one.
+// ShardedEngine (sharded.go) runs N engines in parallel, partitioned by
+// coarsest-level source prefix, with byte-identical merged output.
 package ids
 
 import (
@@ -45,7 +50,8 @@ type Config struct {
 	// definition's inter-arrival bound).
 	Timeout time.Duration
 	// Levels are the aggregation levels tracked, most specific first
-	// (default /128, /64, /48, /32).
+	// (default /128, /64, /48, /32). New accepts any order and does not
+	// modify the slice.
 	Levels []netaddr6.AggLevel
 	// SketchPrecision sets HyperLogLog register count = 2^precision
 	// per candidate (default 10 → 1 KiB, ≈3% error).
@@ -103,22 +109,76 @@ func (a Alert) String() string {
 		a.First.Format(time.RFC3339), a.Last.Format(time.RFC3339), esc)
 }
 
+// sortAlerts orders alerts by first activity, then address, then
+// prefix length. The comparator is a total order (no two distinct
+// alerts compare equal: a level appears at most once per prefix), so
+// the result is deterministic regardless of accumulation order — the
+// property ShardedEngine's merge relies on for byte-identical output.
+func sortAlerts(alerts []Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		if !alerts[i].First.Equal(alerts[j].First) {
+			return alerts[i].First.Before(alerts[j].First)
+		}
+		if c := alerts[i].Prefix.Addr().Compare(alerts[j].Prefix.Addr()); c != 0 {
+			return c < 0
+		}
+		return alerts[i].Prefix.Bits() < alerts[j].Prefix.Bits()
+	})
+}
+
+// candidate is the in-flight state for one aggregated source prefix.
+// The sketch is materialized lazily: until a second distinct
+// destination arrives, the single destination lives inline and the
+// candidate costs no sketch memory. HyperLogLog insertion is
+// idempotent per address, so the late-materialized sketch is
+// byte-identical to one fed every record.
 type candidate struct {
+	firstDst    netaddr6.U128
 	sketch      *core.DstSketch
 	packets     uint64
 	first, last time.Time
-	alerted     bool
 }
 
+func (c *candidate) addDst(d netaddr6.U128, precision uint8) {
+	if c.sketch == nil {
+		if d == c.firstDst {
+			return
+		}
+		c.sketch = core.NewDstSketch(precision)
+		c.sketch.AddU128(c.firstDst)
+	}
+	c.sketch.AddU128(d)
+}
+
+// estimate returns the candidate's destination cardinality: exactly 1
+// on the inline fast path, the sketch estimate otherwise.
+func (c *candidate) estimate() uint64 {
+	if c.sketch == nil {
+		return 1
+	}
+	return c.sketch.Estimate()
+}
+
+// level is one aggregation level's candidate table, keyed by the
+// masked 128-bit source (the prefix length is the level itself) —
+// pointer-free keys keep the garbage collector from tracing millions
+// of interned netip.Addr zone pointers on every cycle.
 type level struct {
 	agg        netaddr6.AggLevel
-	candidates map[netip.Prefix]*candidate
+	candidates map[netaddr6.U128]*candidate
+	// oldest is a conservative lower bound on every live candidate's
+	// last-activity time (zero when unknown/empty). Candidate activity
+	// only moves last forward, so the bound lets sweep skip the whole
+	// level — exactly, not heuristically — when even the stalest
+	// possible candidate would not be idle yet: the common case for
+	// minute-cadence Ticks over an hour-scale timeout.
+	oldest time.Time
 }
 
 // Engine is the dynamic-aggregation IDS.
 type Engine struct {
 	cfg    Config
-	levels []*level // most specific first
+	levels []*level // most specific first, ordered once at New
 	now    time.Time
 
 	// alerts accumulated since the last Drain.
@@ -148,34 +208,55 @@ func New(cfg Config) *Engine {
 	if cfg.MaxCandidates <= 0 {
 		cfg.MaxCandidates = def.MaxCandidates
 	}
-	// Sort levels most specific first: alerting prefers specificity.
-	sort.Slice(cfg.Levels, func(i, j int) bool { return cfg.Levels[i] > cfg.Levels[j] })
+	// Order levels most specific first, once: alerting prefers
+	// specificity and sweep relies on this ordering every call. Sort a
+	// copy — callers' Levels slices are not modified.
+	levels := append([]netaddr6.AggLevel(nil), cfg.Levels...)
+	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+	cfg.Levels = levels
 	e := &Engine{cfg: cfg}
-	for _, l := range cfg.Levels {
-		e.levels = append(e.levels, &level{agg: l, candidates: make(map[netip.Prefix]*candidate)})
+	for _, l := range levels {
+		e.levels = append(e.levels, &level{agg: l, candidates: make(map[netaddr6.U128]*candidate)})
 	}
 	return e
 }
+
+// Config returns the engine's normalized configuration (defaults
+// applied, levels ordered most specific first).
+func (e *Engine) Config() Config { return e.cfg }
 
 // Process ingests one record, updating every level's candidate.
 func (e *Engine) Process(r firewall.Record) {
 	if r.Time.After(e.now) {
 		e.now = r.Time
 	}
+	src, dst := netaddr6.ToU128(r.Src), netaddr6.ToU128(r.Dst)
 	for _, lv := range e.levels {
-		key := netaddr6.Aggregate(r.Src, lv.agg)
+		key := src.Mask(int(lv.agg))
 		c := lv.candidates[key]
 		if c == nil {
 			if len(lv.candidates) >= e.cfg.MaxCandidates {
 				e.dropped++
 				continue
 			}
-			c = &candidate{sketch: core.NewDstSketch(e.cfg.SketchPrecision), first: r.Time}
+			c = &candidate{firstDst: dst, first: r.Time}
 			lv.candidates[key] = c
+		} else {
+			c.addDst(dst, e.cfg.SketchPrecision)
 		}
-		c.sketch.Add(r.Dst)
 		c.packets++
 		c.last = r.Time
+		if lv.oldest.IsZero() || r.Time.Before(lv.oldest) {
+			lv.oldest = r.Time
+		}
+	}
+}
+
+// ProcessBatch ingests a run of records. The slice is not retained, so
+// callers may reuse the backing array between calls.
+func (e *Engine) ProcessBatch(recs []firewall.Record) {
+	for _, r := range recs {
+		e.Process(r)
 	}
 }
 
@@ -196,16 +277,12 @@ func (e *Engine) Flush() []Alert {
 	return e.Drain()
 }
 
-// Drain returns and clears pending alerts.
+// Drain returns and clears pending alerts, ordered deterministically
+// (first activity, then address, then prefix length).
 func (e *Engine) Drain() []Alert {
 	out := e.alerts
 	e.alerts = nil
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].First.Equal(out[j].First) {
-			return out[i].First.Before(out[j].First)
-		}
-		return out[i].Prefix.Addr().Compare(out[j].Prefix.Addr()) < 0
-	})
+	sortAlerts(out)
 	return out
 }
 
@@ -220,75 +297,90 @@ func (e *Engine) Candidates(l netaddr6.AggLevel) int {
 }
 
 // MemoryBytes estimates sketch memory across all levels — the quantity
-// an IDS deployment budgets.
+// an IDS deployment budgets. Candidates on the inline single-dst fast
+// path cost no sketch memory.
 func (e *Engine) MemoryBytes() int {
 	total := 0
 	for _, lv := range e.levels {
 		for _, c := range lv.candidates {
-			total += c.sketch.MemoryBytes()
+			if c.sketch != nil {
+				total += c.sketch.MemoryBytes()
+			}
 		}
 	}
 	return total
 }
 
 // sweep evicts (idle or all) candidates level by level, most specific
-// first, applying the suppression/escalation logic.
+// first, applying the suppression/escalation logic. The level order
+// was fixed at New; within a level, closed candidates are visited in
+// address order for determinism.
 func (e *Engine) sweep(all bool) {
 	type closedScan struct {
-		prefix netip.Prefix
-		level  netaddr6.AggLevel
-		c      *candidate
+		key netaddr6.U128
+		c   *candidate
 	}
-	// Collect qualifying closed candidates per level, most specific
-	// level first.
-	var closed []closedScan
+	var (
+		closed  []closedScan // reused per level
+		emitted []Alert
+	)
 	for _, lv := range e.levels {
+		if len(lv.candidates) == 0 {
+			continue
+		}
+		if !all && e.now.Sub(lv.oldest) <= e.cfg.Timeout {
+			// Even the stalest candidate is within the timeout: no
+			// eviction possible at this level, skip the table scan.
+			continue
+		}
+		closed = closed[:0]
+		var oldest time.Time
 		for key, c := range lv.candidates {
 			if !all && e.now.Sub(c.last) <= e.cfg.Timeout {
+				if oldest.IsZero() || c.last.Before(oldest) {
+					oldest = c.last
+				}
 				continue
 			}
 			delete(lv.candidates, key)
-			if c.sketch.Estimate() >= uint64(e.cfg.MinDsts) {
-				closed = append(closed, closedScan{prefix: key, level: lv.agg, c: c})
+			if c.estimate() >= uint64(e.cfg.MinDsts) {
+				closed = append(closed, closedScan{key: key, c: c})
 			}
 		}
-	}
-	if len(closed) == 0 {
-		return
-	}
-	// Most specific first, then by address for determinism.
-	sort.Slice(closed, func(i, j int) bool {
-		if closed[i].level != closed[j].level {
-			return closed[i].level > closed[j].level
+		// Tighten the bound to the surviving minimum (zero when the
+		// level emptied).
+		lv.oldest = oldest
+		if len(closed) == 0 {
+			continue
 		}
-		return closed[i].prefix.Addr().Compare(closed[j].prefix.Addr()) < 0
-	})
-	// Suppression: a coarser candidate is redundant if already-emitted
-	// more specific alerts cover CoverageShare of its destinations
-	// (approximated by cardinality sums — sketches cannot intersect,
-	// and scan destination sets at different levels of one entity
-	// nest).
-	emitted := make([]Alert, 0, len(closed))
-	for _, cs := range closed {
-		var coveredDsts uint64
-		for _, a := range emitted {
-			if netaddr6.PrefixContains(cs.prefix, a.Prefix) {
-				coveredDsts += a.EstimatedDsts
+		sort.Slice(closed, func(i, j int) bool { return closed[i].key.Cmp(closed[j].key) < 0 })
+		// Suppression: a coarser candidate is redundant if
+		// already-emitted more specific alerts cover CoverageShare of
+		// its destinations (approximated by cardinality sums — sketches
+		// cannot intersect, and scan destination sets at different
+		// levels of one entity nest).
+		for _, cs := range closed {
+			prefix := netip.PrefixFrom(cs.key.ToAddr(), int(lv.agg))
+			var coveredDsts uint64
+			for _, a := range emitted {
+				if netaddr6.PrefixContains(prefix, a.Prefix) {
+					coveredDsts += a.EstimatedDsts
+				}
 			}
+			est := cs.c.estimate()
+			if float64(coveredDsts) >= e.cfg.CoverageShare*float64(est) {
+				continue // explained by finer alerts
+			}
+			emitted = append(emitted, Alert{
+				Prefix:        prefix,
+				Level:         lv.agg,
+				EstimatedDsts: est,
+				Packets:       cs.c.packets,
+				First:         cs.c.first,
+				Last:          cs.c.last,
+				Escalated:     coveredDsts > 0 || lv.agg != e.levels[0].agg,
+			})
 		}
-		est := cs.c.sketch.Estimate()
-		if float64(coveredDsts) >= e.cfg.CoverageShare*float64(est) {
-			continue // explained by finer alerts
-		}
-		emitted = append(emitted, Alert{
-			Prefix:        cs.prefix,
-			Level:         cs.level,
-			EstimatedDsts: est,
-			Packets:       cs.c.packets,
-			First:         cs.c.first,
-			Last:          cs.c.last,
-			Escalated:     coveredDsts > 0 || cs.level != e.levels[0].agg,
-		})
 	}
 	e.alerts = append(e.alerts, emitted...)
 }

@@ -200,6 +200,74 @@ func TestMaxCandidatesBound(t *testing.T) {
 	}
 }
 
+// TestLevelOrderHoistedToNew pins the level-ordering contract: New
+// normalizes the level order once (most specific first) without
+// mutating the caller's slice, and sweep relies on that order — so a
+// config listing levels coarsest-first must produce identical alerts.
+func TestLevelOrderHoistedToNew(t *testing.T) {
+	run := func(levels []netaddr6.AggLevel) []Alert {
+		cfg := DefaultConfig()
+		cfg.Levels = levels
+		e := New(cfg)
+		ts := feed(e, t0, netaddr6.MustAddr("2001:db8:bad0::1"), 200, 0)
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 40; i++ {
+			src := netaddr6.RandomAddrIn(netaddr6.MustPrefix("2001:db8:bad1::/64"), rng)
+			ts = feed(e, ts, src, 8, 1000+i*8)
+		}
+		return e.Flush()
+	}
+	coarseFirst := []netaddr6.AggLevel{netaddr6.Agg32, netaddr6.Agg48, netaddr6.Agg64, netaddr6.Agg128}
+	fineFirst := []netaddr6.AggLevel{netaddr6.Agg128, netaddr6.Agg64, netaddr6.Agg48, netaddr6.Agg32}
+
+	got, want := run(coarseFirst), run(fineFirst)
+	if len(got) != len(want) {
+		t.Fatalf("alert counts differ by config level order: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("alert %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// The most specific level must win regardless of config order.
+	if want[0].Level != netaddr6.Agg128 && want[1].Level != netaddr6.Agg128 {
+		t.Errorf("no /128 alert: %v", want)
+	}
+	// New must not reorder the caller's slice.
+	if coarseFirst[0] != netaddr6.Agg32 || coarseFirst[3] != netaddr6.Agg128 {
+		t.Errorf("New mutated the caller's Levels slice: %v", coarseFirst)
+	}
+	// The engine's normalized config is most specific first.
+	e := New(Config{Levels: coarseFirst})
+	if lv := e.Config().Levels; lv[0] != netaddr6.Agg128 || lv[3] != netaddr6.Agg32 {
+		t.Errorf("normalized levels not most specific first: %v", lv)
+	}
+}
+
+// TestInlineCandidateFastPath pins the lazy-sketch behavior: a
+// single-destination candidate costs no sketch memory and still
+// estimates exactly 1.
+func TestInlineCandidateFastPath(t *testing.T) {
+	e := New(DefaultConfig())
+	src := netaddr6.MustAddr("2001:db8:77::1")
+	dst := netaddr6.MustAddr("2001:db8:f::1")
+	for i := 0; i < 10; i++ {
+		e.Process(rec(t0.Add(time.Duration(i)*time.Second), src, dst))
+	}
+	if got := e.MemoryBytes(); got != 0 {
+		t.Errorf("single-dst candidates allocated %d sketch bytes", got)
+	}
+	// A second distinct destination materializes sketches at every
+	// level that still has headroom.
+	e.Process(rec(t0.Add(time.Minute), src, netaddr6.MustAddr("2001:db8:f::2")))
+	if got := e.MemoryBytes(); got == 0 {
+		t.Error("multi-dst candidate has no sketch")
+	}
+	if alerts := e.Flush(); len(alerts) != 0 {
+		t.Errorf("below-threshold candidates alerted: %v", alerts)
+	}
+}
+
 func TestAlertString(t *testing.T) {
 	a := Alert{
 		Prefix: netaddr6.MustPrefix("2001:db8::/64"), Level: netaddr6.Agg64,

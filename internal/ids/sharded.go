@@ -1,0 +1,288 @@
+package ids
+
+import (
+	"sync"
+	"time"
+
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/netaddr6"
+)
+
+// ShardedEngine runs the dynamic-aggregation IDS across N worker
+// shards in parallel, mirroring core.ShardedDetector. Records are
+// partitioned by their source aggregated to the *coarsest* configured
+// level, so every candidate at every level — finer prefixes nest
+// inside the coarsest — lives in exactly one shard, and the
+// suppression/escalation logic (which only ever compares nested
+// prefixes) sees the same candidates it would in a single Engine.
+// Combined with the engines' deterministic alert ordering, the merged
+// output is byte-identical to a single Engine's at any shard count
+// (see TestShardedIDSParity) — with one caveat: each shard applies
+// Config.MaxCandidates to its own tables, so under cap pressure a
+// sharded engine admits candidates (and so may emit alerts) a single
+// engine would have dropped.
+//
+// Each shard owns a private Engine and consumes batches from a
+// channel; ProcessBatch partitions input while workers drain previous
+// batches. Tick forwards the eviction horizon to every shard, carrying
+// the globally latest record time so per-shard eviction decisions
+// match the single-engine ones exactly. Flush drains the workers and
+// merges alerts deterministically; the engine is not reusable
+// afterwards.
+type ShardedEngine struct {
+	cfg      Config
+	shardLvl netaddr6.AggLevel
+	shards   []*Engine
+	chans    []chan idsMsg
+	wg       sync.WaitGroup
+
+	// buf stages single-record Process calls until batchSize is
+	// reached; ProcessBatch bypasses it.
+	buf       []firewall.Record
+	batchSize int
+	// lastSeen is the latest record timestamp dispatched; Tick
+	// forwards max(now, lastSeen) so a shard that saw only early
+	// records still evicts against the global clock.
+	lastSeen time.Time
+	flushed  bool
+}
+
+// idsMsg is one unit of work for a shard: a run of records and/or a
+// tick horizon, or a barrier request (done non-nil).
+type idsMsg struct {
+	recs []firewall.Record
+	tick time.Time
+	done chan<- struct{}
+}
+
+// defaultIDSBatch is the staging size for the single-record Process
+// path; large enough to amortize channel traffic, small enough that
+// streaming callers see timely progress.
+const defaultIDSBatch = 2048
+
+// NewSharded returns an IDS engine running the configuration's
+// aggregation levels across n parallel shards. n < 1 is treated as 1;
+// a single shard still processes on one worker goroutine but is
+// byte-identical (and close in cost) to a plain Engine.
+func NewSharded(cfg Config, n int) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	// Normalize the config once so every shard agrees (New applies the
+	// same defaults).
+	probe := New(cfg)
+	cfg = probe.Config()
+
+	se := &ShardedEngine{
+		cfg:       cfg,
+		shardLvl:  core.CoarsestLevel(cfg.Levels),
+		shards:    make([]*Engine, n),
+		chans:     make([]chan idsMsg, n),
+		batchSize: defaultIDSBatch,
+	}
+	for i := range se.shards {
+		if i == 0 {
+			se.shards[i] = probe
+		} else {
+			se.shards[i] = New(cfg)
+		}
+		se.chans[i] = make(chan idsMsg, 4)
+		se.wg.Add(1)
+		go se.worker(i)
+	}
+	return se
+}
+
+// Config returns the (normalized) engine configuration.
+func (se *ShardedEngine) Config() Config { return se.cfg }
+
+// NumShards returns the worker count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+func (se *ShardedEngine) worker(i int) {
+	defer se.wg.Done()
+	e := se.shards[i]
+	for msg := range se.chans[i] {
+		if !msg.tick.IsZero() {
+			e.Tick(msg.tick)
+		}
+		e.ProcessBatch(msg.recs)
+		if msg.done != nil {
+			msg.done <- struct{}{}
+		}
+	}
+}
+
+// Process ingests one record, staging it until a batch accumulates.
+func (se *ShardedEngine) Process(r firewall.Record) {
+	if se.flushed {
+		panic("ids: ShardedEngine used after Flush")
+	}
+	se.buf = append(se.buf, r)
+	if len(se.buf) >= se.batchSize {
+		se.flushBuf()
+	}
+}
+
+// ProcessBatch partitions a run of records across the shards and
+// dispatches it. The slice is not retained, so callers may reuse the
+// backing array between calls.
+func (se *ShardedEngine) ProcessBatch(recs []firewall.Record) {
+	se.flushBuf()
+	se.dispatch(recs, time.Time{})
+}
+
+func (se *ShardedEngine) flushBuf() {
+	if len(se.buf) > 0 {
+		se.dispatch(se.buf, time.Time{})
+		se.buf = se.buf[:0]
+	}
+}
+
+func (se *ShardedEngine) dispatch(recs []firewall.Record, tick time.Time) {
+	if se.flushed {
+		panic("ids: ShardedEngine used after Flush")
+	}
+	for _, r := range recs {
+		if r.Time.After(se.lastSeen) {
+			se.lastSeen = r.Time
+		}
+	}
+	if len(se.shards) == 1 {
+		if len(recs) > 0 || !tick.IsZero() {
+			batch := make([]firewall.Record, len(recs))
+			copy(batch, recs)
+			se.chans[0] <- idsMsg{recs: batch, tick: tick}
+		}
+		return
+	}
+	parts := make([][]firewall.Record, len(se.shards))
+	sizeHint := len(recs)/len(se.shards) + len(recs)/8 + 1
+	for _, r := range recs {
+		i := core.PartitionShard(r.Src, se.shardLvl, len(se.shards))
+		if parts[i] == nil {
+			parts[i] = make([]firewall.Record, 0, sizeHint)
+		}
+		parts[i] = append(parts[i], r)
+	}
+	for i, part := range parts {
+		if len(part) > 0 || !tick.IsZero() {
+			se.chans[i] <- idsMsg{recs: part, tick: tick}
+		}
+	}
+}
+
+// Tick advances time on every shard, evicting idle candidates exactly
+// as a single Engine would: the forwarded horizon is the later of now
+// and the latest dispatched record time, so shards whose own records
+// lag the global clock still close the same candidates. Pending staged
+// records are dispatched first so eviction sees them.
+func (se *ShardedEngine) Tick(now time.Time) {
+	se.flushBuf()
+	if se.lastSeen.After(now) {
+		now = se.lastSeen
+	}
+	se.dispatch(nil, now)
+}
+
+// barrier blocks until every shard has processed all queued work, after
+// which the dispatching goroutine may touch shard engines directly
+// (the channel round-trip establishes the happens-before edge).
+func (se *ShardedEngine) barrier() {
+	done := make(chan struct{}, len(se.shards))
+	for _, ch := range se.chans {
+		ch <- idsMsg{done: done}
+	}
+	for range se.shards {
+		<-done
+	}
+}
+
+// Drain returns and clears the alerts accumulated by past Ticks across
+// all shards, merged into the same deterministic order a single
+// Engine's Drain produces. It synchronizes with the workers, so it is
+// safe (though not free) to call from the dispatching goroutine at any
+// point between batches.
+func (se *ShardedEngine) Drain() []Alert {
+	var out []Alert
+	if se.flushed {
+		for _, e := range se.shards {
+			out = append(out, e.Drain()...)
+		}
+	} else {
+		se.flushBuf()
+		se.barrier()
+		for _, e := range se.shards {
+			out = append(out, e.Drain()...)
+		}
+	}
+	sortAlerts(out)
+	return out
+}
+
+// Flush dispatches any staged records, stops the workers, evicts every
+// candidate, and returns all pending alerts merged deterministically.
+// The engine is not reusable afterwards (Drain and the accessors
+// remain valid).
+func (se *ShardedEngine) Flush() []Alert {
+	if !se.flushed {
+		se.flushBuf()
+		se.flushed = true
+		for _, ch := range se.chans {
+			close(ch)
+		}
+		se.wg.Wait()
+	}
+	var out []Alert
+	for _, e := range se.shards {
+		// Per-shard Flush sweeps everything; ordering is restored by
+		// the merged sort below.
+		out = append(out, e.Flush()...)
+	}
+	sortAlerts(out)
+	return out
+}
+
+// Candidates returns the current working-set size at a level across
+// all shards.
+func (se *ShardedEngine) Candidates(l netaddr6.AggLevel) int {
+	se.sync()
+	total := 0
+	for _, e := range se.shards {
+		total += e.Candidates(l)
+	}
+	return total
+}
+
+// MemoryBytes estimates sketch memory across all shards and levels.
+func (se *ShardedEngine) MemoryBytes() int {
+	se.sync()
+	total := 0
+	for _, e := range se.shards {
+		total += e.MemoryBytes()
+	}
+	return total
+}
+
+// DroppedCandidates reports how many candidates were rejected by the
+// per-level MaxCandidates bound, summed over shards. Note each shard
+// applies the bound to its own tables, so a sharded engine may admit
+// up to n times more candidates than a single engine with the same
+// configuration.
+func (se *ShardedEngine) DroppedCandidates() uint64 {
+	se.sync()
+	var total uint64
+	for _, e := range se.shards {
+		total += e.DroppedCandidates()
+	}
+	return total
+}
+
+// sync makes shard state safe to read from the dispatching goroutine.
+func (se *ShardedEngine) sync() {
+	if !se.flushed {
+		se.flushBuf()
+		se.barrier()
+	}
+}

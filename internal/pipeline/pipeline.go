@@ -53,6 +53,25 @@ type Source interface {
 	Emit(emit func(r firewall.Record) error) error
 }
 
+// BatchSource is implemented by sources that can emit chunked runs of
+// records (the slice, log and pcap sources). Pipelines whose terminal
+// sink is a BatchSink stream batch-to-batch, skipping the per-record
+// indirection entirely — the path the sharded detector and sharded IDS
+// engine are fed through.
+type BatchSource interface {
+	Source
+	// EmitBatch pushes runs of up to batchSize records into emit. The
+	// slice is only valid for the duration of the call: sources reuse
+	// the backing array, so sinks that retain records must copy (the
+	// sharded consumers already partition into fresh slices).
+	EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error
+}
+
+// DefaultBatchSize is the chunk size Run uses on the batch path —
+// large enough to amortize dispatch overhead, small enough to keep
+// per-chunk buffers cache-friendly.
+const DefaultBatchSize = 4096
+
 // SourceFunc adapts a function to the Source interface.
 type SourceFunc func(emit func(r firewall.Record) error) error
 
@@ -71,13 +90,22 @@ func New(src Source, sink RecordSink) *Pipeline {
 }
 
 // Run streams every record from the source through the sink chain,
-// then flushes it. The first error — from the source, a stage, or the
-// terminal sink — aborts the run. The chain is flushed even on a
-// mid-stream error so sinks holding resources (the sharded detector's
-// worker goroutines, buffered writers) release them; the original
-// error wins over any flush error.
+// then flushes it. When the source can emit chunks and the first sink
+// consumes them (BatchSource into BatchSink), records flow in batches
+// of DefaultBatchSize; otherwise record by record. The first error —
+// from the source, a stage, or the terminal sink — aborts the run. The
+// chain is flushed even on a mid-stream error so sinks holding
+// resources (the sharded consumers' worker goroutines, buffered
+// writers) release them; the original error wins over any flush error.
 func (p *Pipeline) Run() error {
-	err := p.src.Emit(p.sink.Consume)
+	var err error
+	bsrc, bok := p.src.(BatchSource)
+	bsink, sok := p.sink.(BatchSink)
+	if bok && sok {
+		err = bsrc.EmitBatch(DefaultBatchSize, bsink.ConsumeBatch)
+	} else {
+		err = p.src.Emit(p.sink.Consume)
+	}
 	ferr := p.sink.Flush()
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
+	"v6scan/internal/ids"
 	"v6scan/internal/layers"
 	"v6scan/internal/netaddr6"
 )
@@ -140,6 +141,134 @@ func TestLogRoundTripThroughPipeline(t *testing.T) {
 	}
 	if scans := det.Scans(netaddr6.Agg64); len(scans) != 1 || scans[0].Dsts != 120 {
 		t.Fatalf("scans after round trip: %+v", scans)
+	}
+}
+
+// TestRunUsesBatchPath verifies that a BatchSource feeding a BatchSink
+// streams in chunks (and that the per-record path still sees every
+// record when a non-batch stage intervenes).
+func TestRunUsesBatchPath(t *testing.T) {
+	recs := scanStream(10_000)
+	var batches, records int
+	sink := &countingBatchSink{onBatch: func(n int) { batches++; records += n }}
+	if err := New(SliceSource(recs), sink).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if records != len(recs) {
+		t.Fatalf("batch path consumed %d records, want %d", records, len(recs))
+	}
+	if want := (len(recs) + DefaultBatchSize - 1) / DefaultBatchSize; batches != want {
+		t.Fatalf("batch path saw %d batches, want %d", batches, want)
+	}
+	// A funcStage in front is not a BatchSink: Run falls back to the
+	// record path, and every record still arrives.
+	records = 0
+	sink2 := &countingBatchSink{onBatch: func(n int) { records += n }}
+	if err := New(SliceSource(recs), Filter(func(firewall.Record) bool { return true }, sink2)).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if records != len(recs) {
+		t.Fatalf("record path consumed %d records, want %d", records, len(recs))
+	}
+}
+
+type countingBatchSink struct {
+	onBatch func(n int)
+}
+
+func (s *countingBatchSink) Consume(firewall.Record) error { s.onBatch(1); return nil }
+func (s *countingBatchSink) ConsumeBatch(recs []firewall.Record) error {
+	s.onBatch(len(recs))
+	return nil
+}
+func (s *countingBatchSink) Flush() error { return nil }
+
+// TestLogSourceEmitBatch round-trips a log through the chunked reader
+// into the batch-path IDS sink and checks the alert matches the
+// record-path engine's.
+func TestLogSourceEmitBatch(t *testing.T) {
+	recs := scanStream(150)
+	var buf bytes.Buffer
+	w := firewall.NewWriter(&buf)
+	if err := New(SliceSource(recs), NewLogSink(w)).Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref := ids.New(ids.DefaultConfig())
+	for _, r := range recs {
+		ref.Process(r)
+	}
+	want := ref.Flush()
+
+	sink := NewIDSSink(ids.New(ids.DefaultConfig()))
+	if err := New(NewLogSource(&buf), sink).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Alerts) != len(want) || len(want) == 0 {
+		t.Fatalf("alerts: %v, want %v", sink.Alerts, want)
+	}
+	if sink.Alerts[0] != want[0] {
+		t.Fatalf("alert differs: %+v vs %+v", sink.Alerts[0], want[0])
+	}
+}
+
+// TestIDSSinkTickEvery verifies the stream-time Tick cadence: with it,
+// a candidate idle past the engine timeout is evicted mid-stream, so a
+// source that scans, goes quiet, and scans again yields two alerts;
+// without it, eviction waits for Flush and the sessions merge.
+func TestIDSSinkTickEvery(t *testing.T) {
+	burst := scanStream(150)
+	var recs []firewall.Record
+	recs = append(recs, burst...)
+	for _, r := range burst {
+		r.Time = r.Time.Add(3 * time.Hour) // beyond the 1h timeout
+		recs = append(recs, r)
+	}
+	merged := NewIDSSink(ids.New(ids.DefaultConfig()))
+	if err := New(SliceSource(recs), merged).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Alerts) != 1 {
+		t.Fatalf("without TickEvery: %d alerts, want 1 merged", len(merged.Alerts))
+	}
+	// Both paths must split at the same stream point: the batch path
+	// (default Run over a SliceSource) splits batches at cadence
+	// points, and the record path (forced by the Tap stage) ticks per
+	// record.
+	for name, stage := range map[string]func(RecordSink) RecordSink{
+		"batch":  func(s RecordSink) RecordSink { return s },
+		"record": func(s RecordSink) RecordSink { return Tap(func(firewall.Record) {}, s) },
+	} {
+		split := NewIDSSink(ids.New(ids.DefaultConfig()))
+		split.TickEvery = time.Minute
+		if err := New(SliceSource(recs), stage(split)).Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(split.Alerts) != 2 {
+			t.Fatalf("%s path with TickEvery: %d alerts, want 2 split sessions: %v",
+				name, len(split.Alerts), split.Alerts)
+		}
+	}
+}
+
+// TestShardedIDSSinkMatchesIDSSink runs the same stream through the
+// plain and sharded IDS sinks and requires identical alerts.
+func TestShardedIDSSinkMatchesIDSSink(t *testing.T) {
+	recs := scanStream(300)
+	plain := NewIDSSink(ids.New(ids.DefaultConfig()))
+	if err := New(SliceSource(recs), plain).Run(); err != nil {
+		t.Fatal(err)
+	}
+	sharded := NewShardedIDSSink(ids.NewSharded(ids.DefaultConfig(), 4))
+	if err := New(SliceSource(recs), sharded).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Alerts) != len(sharded.Alerts) || len(plain.Alerts) == 0 {
+		t.Fatalf("alert counts differ: %d vs %d", len(plain.Alerts), len(sharded.Alerts))
+	}
+	for i := range plain.Alerts {
+		if plain.Alerts[i] != sharded.Alerts[i] {
+			t.Fatalf("alert %d differs: %+v vs %+v", i, plain.Alerts[i], sharded.Alerts[i])
+		}
 	}
 }
 

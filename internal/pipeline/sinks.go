@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"time"
+
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
 	"v6scan/internal/ids"
@@ -99,17 +101,52 @@ func (s *MAWISink) Flush() error {
 
 // IDSSink terminates a pipeline in the dynamic-aggregation IDS engine;
 // Flush stores the accumulated alerts in Alerts.
+//
+// TickEvery, when positive, forwards Engine.Tick on a stream-time
+// cadence (checked at record/batch granularity) so idle candidates
+// are evicted mid-stream as in an inline deployment; zero leaves all
+// eviction to Flush.
 type IDSSink struct {
-	E      *ids.Engine
-	Alerts []ids.Alert
+	E         *ids.Engine
+	TickEvery time.Duration
+	Alerts    []ids.Alert
+	lastTick  time.Time
 }
 
 // NewIDSSink wraps an IDS engine.
 func NewIDSSink(e *ids.Engine) *IDSSink { return &IDSSink{E: e} }
 
-// Consume implements RecordSink.
+// Consume implements RecordSink. The cadence check runs before the
+// record is ingested: a record whose timestamp jumped past the
+// cadence first advances the engine clock (evicting candidates that
+// went idle during the gap, as an inline deployment's timer would)
+// and only then contributes its own activity.
 func (s *IDSSink) Consume(r firewall.Record) error {
+	if due(&s.lastTick, s.TickEvery, r.Time) {
+		s.E.Tick(r.Time)
+	}
 	s.E.Process(r)
+	return nil
+}
+
+// ConsumeBatch implements BatchSink. The batch is split at every
+// cadence point so ticks fire at the same stream positions as on the
+// per-record path — batch size (and stages that force the record
+// path) never change which sessions merge.
+func (s *IDSSink) ConsumeBatch(recs []firewall.Record) error {
+	if s.TickEvery <= 0 {
+		s.E.ProcessBatch(recs)
+		return nil
+	}
+	start := 0
+	for i, r := range recs {
+		if due(&s.lastTick, s.TickEvery, r.Time) {
+			s.E.ProcessBatch(recs[start:i])
+			s.E.Tick(r.Time)
+			start = i
+		}
+	}
+	s.E.ProcessBatch(recs[start:])
 	return nil
 }
 
@@ -117,6 +154,70 @@ func (s *IDSSink) Consume(r firewall.Record) error {
 func (s *IDSSink) Flush() error {
 	s.Alerts = s.E.Flush()
 	return nil
+}
+
+// ShardedIDSSink terminates a pipeline in the sharded IDS engine,
+// forwarding batches to its parallel ProcessBatch path; Flush stops
+// the workers and stores the deterministically merged alerts in
+// Alerts. TickEvery behaves as on IDSSink.
+type ShardedIDSSink struct {
+	E         *ids.ShardedEngine
+	TickEvery time.Duration
+	Alerts    []ids.Alert
+	lastTick  time.Time
+}
+
+// NewShardedIDSSink wraps a sharded IDS engine.
+func NewShardedIDSSink(e *ids.ShardedEngine) *ShardedIDSSink { return &ShardedIDSSink{E: e} }
+
+// Consume implements RecordSink via the engine's staged batching; the
+// cadence check runs before ingestion, as on IDSSink.
+func (s *ShardedIDSSink) Consume(r firewall.Record) error {
+	if due(&s.lastTick, s.TickEvery, r.Time) {
+		s.E.Tick(r.Time)
+	}
+	s.E.Process(r)
+	return nil
+}
+
+// ConsumeBatch implements BatchSink, splitting at cadence points as
+// on IDSSink.
+func (s *ShardedIDSSink) ConsumeBatch(recs []firewall.Record) error {
+	if s.TickEvery <= 0 {
+		s.E.ProcessBatch(recs)
+		return nil
+	}
+	start := 0
+	for i, r := range recs {
+		if due(&s.lastTick, s.TickEvery, r.Time) {
+			s.E.ProcessBatch(recs[start:i])
+			s.E.Tick(r.Time)
+			start = i
+		}
+	}
+	s.E.ProcessBatch(recs[start:])
+	return nil
+}
+
+// Flush implements RecordSink.
+func (s *ShardedIDSSink) Flush() error {
+	s.Alerts = s.E.Flush()
+	return nil
+}
+
+// due reports whether a stream-time tick cadence has elapsed at t,
+// advancing the stored mark when it has. A zero or negative cadence
+// never fires; the first record only arms the mark.
+func due(last *time.Time, every time.Duration, t time.Time) bool {
+	if every <= 0 {
+		return false
+	}
+	if last.IsZero() || t.Sub(*last) >= every {
+		fire := !last.IsZero()
+		*last = t
+		return fire
+	}
+	return false
 }
 
 // LogSink writes every record to a binary firewall log; Flush drains

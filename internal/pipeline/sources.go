@@ -21,6 +21,17 @@ func (s SliceSource) Emit(emit func(r firewall.Record) error) error {
 	return nil
 }
 
+// EmitBatch implements BatchSource by emitting subslices; no copying.
+func (s SliceSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error {
+	for start := 0; start < len(s); start += batchSize {
+		end := min(start+batchSize, len(s))
+		if err := emit(s[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LogSource streams records from a binary firewall log (the
 // cmd/telescope-sim output format). Logs are written in time order, so
 // no sorting stage is needed.
@@ -45,6 +56,31 @@ func (s *LogSource) Emit(emit func(r firewall.Record) error) error {
 		}
 		if err := emit(rec); err != nil {
 			return err
+		}
+	}
+}
+
+// EmitBatch implements BatchSource: records are decoded into a reused
+// chunk buffer and handed downstream batchSize at a time.
+func (s *LogSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error {
+	buf := make([]firewall.Record, 0, batchSize)
+	for {
+		rec, err := s.r.Next()
+		if err == io.EOF {
+			if len(buf) > 0 {
+				return emit(buf)
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		buf = append(buf, rec)
+		if len(buf) == batchSize {
+			if err := emit(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
 	}
 }
@@ -85,6 +121,40 @@ func (s *PcapSource) Emit(emit func(r firewall.Record) error) error {
 		}
 		if err := emit(firewall.FromDecoded(p.Timestamp, &d)); err != nil {
 			return err
+		}
+	}
+}
+
+// EmitBatch implements BatchSource: frames are decoded into a reused
+// chunk buffer and handed downstream batchSize at a time.
+func (s *PcapSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error {
+	pr, err := pcap.NewReader(s.r)
+	if err != nil {
+		return err
+	}
+	var d layers.Decoded
+	buf := make([]firewall.Record, 0, batchSize)
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			if len(buf) > 0 {
+				return emit(buf)
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if perr := layers.ParseFrame(p.Data, pr.Header().LinkType, &d); perr != nil {
+			s.skipped++
+			continue
+		}
+		buf = append(buf, firewall.FromDecoded(p.Timestamp, &d))
+		if len(buf) == batchSize {
+			if err := emit(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
 	}
 }

@@ -184,6 +184,9 @@ type (
 	BatchSink = pipeline.BatchSink
 	// RecordSource produces a time-ordered record stream.
 	RecordSource = pipeline.Source
+	// RecordBatchSource produces the stream in chunked batches; when a
+	// pipeline couples one to a BatchSink, records flow batch-to-batch.
+	RecordBatchSource = pipeline.BatchSource
 	// SourceFunc adapts a function to RecordSource.
 	SourceFunc = pipeline.SourceFunc
 	// SinkFunc adapts a function to RecordSink.
@@ -210,6 +213,8 @@ type (
 	MAWISink = pipeline.MAWISink
 	// IDSSink terminates a pipeline in the dynamic-aggregation engine.
 	IDSSink = pipeline.IDSSink
+	// ShardedIDSSink terminates a pipeline in the sharded IDS engine.
+	ShardedIDSSink = pipeline.ShardedIDSSink
 	// LogSink writes the stream to a binary firewall log.
 	LogSink = pipeline.LogSink
 	// ShardedDetector runs multi-level detection across parallel
@@ -250,8 +255,11 @@ func NewDetectorSink(d *Detector) *DetectorSink      { return pipeline.NewDetect
 func NewShardedSink(d *ShardedDetector) *ShardedSink { return pipeline.NewShardedSink(d) }
 func NewMAWISink(d *MAWIDetector) *MAWISink          { return pipeline.NewMAWISink(d) }
 func NewIDSSink(e *IDSEngine) *IDSSink               { return pipeline.NewIDSSink(e) }
-func NewLogSink(w *LogWriter) *LogSink               { return pipeline.NewLogSink(w) }
-func CollectorSink(add func(Record)) RecordSink      { return pipeline.Collector(add) }
+func NewShardedIDSSink(e *ShardedIDSEngine) *ShardedIDSSink {
+	return pipeline.NewShardedIDSSink(e)
+}
+func NewLogSink(w *LogWriter) *LogSink          { return pipeline.NewLogSink(w) }
+func CollectorSink(add func(Record)) RecordSink { return pipeline.Collector(add) }
 
 // DiscardSink drops every record; useful as a tee-branch terminator.
 var DiscardSink = pipeline.Discard
@@ -301,6 +309,9 @@ type (
 	// IDSEngine is the memory-bounded multi-aggregation detector with
 	// blocklist recommendations.
 	IDSEngine = ids.Engine
+	// ShardedIDSEngine runs the IDS across parallel worker shards with
+	// alerts byte-identical to a single engine's at any shard count.
+	ShardedIDSEngine = ids.ShardedEngine
 	// IDSAlert is one detected entity with its recommended blocklist
 	// prefix.
 	IDSAlert = ids.Alert
@@ -308,6 +319,10 @@ type (
 
 // NewIDS returns a dynamic-aggregation IDS engine.
 func NewIDS(cfg IDSConfig) *IDSEngine { return ids.New(cfg) }
+
+// NewShardedIDS returns an IDS engine partitioning candidate state by
+// coarsest-level source prefix across n parallel worker shards.
+func NewShardedIDS(cfg IDSConfig, n int) *ShardedIDSEngine { return ids.NewSharded(cfg, n) }
 
 // DefaultIDSConfig returns production-oriented IDS defaults.
 func DefaultIDSConfig() IDSConfig { return ids.DefaultConfig() }
