@@ -545,29 +545,49 @@ func BenchmarkEndToEndDay(b *testing.B) {
 	b.ReportMetric(float64(len(recs)), "records/op")
 }
 
-// BenchmarkEndToEndDayPipeline runs the same full simulated CDN day
-// through the composable pipeline — policy stage, artifact stage,
-// sharded detector sink — the deployment-shaped counterpart of
-// BenchmarkEndToEndDay's hand-wired loop.
-func BenchmarkEndToEndDayPipeline(b *testing.B) {
+// BenchmarkEndToEndFilteredPipeline runs a full simulated CDN day
+// through the builder-composed filtered pipeline — policy stage,
+// artifact stage, sharded detector sink — on both dispatch paths: the
+// batch path (every stage is batch-native, so records flow
+// batch-to-batch end to end) and the record path (forced by hiding the
+// source's batch capability). The batch path must not be slower; it is
+// the deployment-shaped counterpart of BenchmarkEndToEndDay's
+// hand-wired loop. (Replaces BenchmarkEndToEndDayPipeline, which only
+// measured the nested-constructor record path.)
+func BenchmarkEndToEndFilteredPipeline(b *testing.B) {
 	allowParallelism(b, 9)
 	res := benchRun(b)
 	var recs []Record
 	res.Census.EmitDay(benchStart.Add(48*time.Hour), func(r Record) { recs = append(recs, r) })
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		det := NewShardedDetector(DefaultDetectorConfig(), 8)
-		p := NewPipeline(
-			NewSliceSource(recs),
-			PolicyStage(DefaultCollectPolicy(),
-				NewArtifactStage(NewArtifactFilter(),
-					NewShardedSink(det))))
-		if err := p.Run(); err != nil {
-			b.Fatal(err)
+
+	run := func(b *testing.B, src RecordSource, wantBatched bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sink := NewShardedSink(NewShardedDetector(DefaultDetectorConfig(), 8))
+			p := From(src).
+				Policy(DefaultCollectPolicy()).
+				Artifact().
+				Build(sink)
+			if p.Batched() != wantBatched {
+				b.Fatalf("Batched() = %v, want %v", p.Batched(), wantBatched)
+			}
+			if err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				b.Fatal(err)
+			}
 		}
+		b.ReportMetric(float64(len(recs)), "records/op")
 	}
-	b.ReportMetric(float64(len(recs)), "records/op")
+
+	b.Run("batch", func(b *testing.B) {
+		run(b, NewSliceSource(recs), true)
+	})
+	b.Run("record", func(b *testing.B) {
+		run(b, SourceFunc(NewSliceSource(recs).Emit), false)
+	})
 }
 
 // benchRecordsIDS synthesizes the IDS benchmark workload. Unlike

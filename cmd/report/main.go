@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -113,7 +114,8 @@ func (r *runner) cdn() *v6scan.ExperimentResult {
 		log.Fatal(err)
 	}
 	r.dnsC = v6scan.NewDNSCollector(res.Telescope, 0)
-	if err := v6scan.NewPipeline(v6scan.NewSliceSource(filtered), v6scan.CollectorSink(r.dnsC.Add)).Run(); err != nil {
+	if err := v6scan.From(v6scan.NewSliceSource(filtered)).
+		RunInto(context.Background(), v6scan.CollectorSink(r.dnsC.Add)); err != nil {
 		log.Fatal(err)
 	}
 	if r.keepFiltered {
@@ -278,30 +280,31 @@ func (r *runner) ids() {
 	r.cdn() // populates the filtered record stream
 	header("ids", "inline dynamic-aggregation IDS (Discussion)")
 	cfg := v6scan.DefaultIDSConfig()
-	sink := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, r.shards))
 	t0 := time.Now()
-	if err := v6scan.NewPipeline(v6scan.NewSliceSource(r.filtered), sink).Run(); err != nil {
+	alerts, err := v6scan.From(v6scan.NewSliceSource(r.filtered)).
+		IDS(context.Background(), cfg, r.shards)
+	if err != nil {
 		log.Fatal(err)
 	}
 	processed := len(r.filtered)
 	r.filtered = nil // only this experiment reads the stream; release it
 	escalated := 0
 	byLevel := map[v6scan.AggLevel]int{}
-	for _, a := range sink.Alerts {
+	for _, a := range alerts {
 		byLevel[a.Level]++
 		if a.Escalated {
 			escalated++
 		}
 	}
 	fmt.Printf("%d records through %d shards in %v: %d blocklist recommendations (%d escalated)\n",
-		processed, r.shards, time.Since(t0).Round(time.Millisecond), len(sink.Alerts), escalated)
+		processed, r.shards, time.Since(t0).Round(time.Millisecond), len(alerts), escalated)
 	for _, lvl := range cfg.Levels {
 		if byLevel[lvl] > 0 {
 			fmt.Printf("  %-5v %d alerts\n", lvl, byLevel[lvl])
 		}
 	}
-	show := min(5, len(sink.Alerts))
-	for _, a := range sink.Alerts[:show] {
+	show := min(5, len(alerts))
+	for _, a := range alerts[:show] {
 		fmt.Printf("  %s\n", a)
 	}
 	fmt.Println()

@@ -51,7 +51,7 @@ func main() {
 	// the experiment's own day sorter), so sort it here — the log
 	// format promises time order to its readers.
 	if *raw {
-		cfg.RawSink = v6scan.NewDaySortStage(v6scan.NewLogSink(w))
+		cfg.RawSink = v6scan.Chain().DaySort().Into(v6scan.NewLogSink(w))
 	} else {
 		cfg.FilteredSink = v6scan.NewLogSink(w)
 	}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -76,35 +77,24 @@ func main() {
 		return
 	}
 
-	// Sink chain: optional artifact filter → counter → detector (plain
-	// when serial, sharded otherwise). The counter sits past the filter
-	// so "processed" reports what detection actually consumed.
-	var scanner interface {
-		Scans(v6scan.AggLevel) []v6scan.Scan
-	}
-	var detSink v6scan.RecordSink
-	if *shards > 1 {
-		det := v6scan.NewShardedDetector(cfg, *shards)
-		detSink = v6scan.NewShardedSink(det)
-		scanner = det
-	} else {
-		det := v6scan.NewDetector(cfg)
-		detSink = v6scan.NewDetectorSink(det)
-		scanner = det
-	}
-	counted := v6scan.NewPipelineCounter(detSink)
-	var sink v6scan.RecordSink = counted
+	// Builder chain: optional artifact filter → counter → detector
+	// (plain when serial, sharded otherwise; Detect returns the merged
+	// view either way). The counter sits past the filter so
+	// "processed" reports what detection actually consumed.
+	b := v6scan.From(src)
 	if *filter {
-		sink = v6scan.NewArtifactStage(v6scan.NewArtifactFilter(), sink)
+		b.Artifact()
 	}
-
-	if err := v6scan.NewPipeline(src, sink).Run(); err != nil {
+	var counted *v6scan.PipelineCounter
+	b.Counter(&counted)
+	det, err := b.Detect(context.Background(), cfg, *shards)
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("processed %d records\n", counted.Count())
 	for _, lvl := range cfg.Levels {
-		scans := scanner.Scans(lvl)
+		scans := det.Scans(lvl)
 		fmt.Printf("\n=== %s: %d scans ===\n", lvl, len(scans))
 		sort.Slice(scans, func(i, j int) bool { return scans[i].Packets > scans[j].Packets })
 		for i, s := range scans {
@@ -130,30 +120,33 @@ func runIDS(src v6scan.RecordSource, det v6scan.DetectorConfig, shards int, filt
 
 	// Tick once per minute of stream time, the inline-deployment
 	// cadence: idle candidates are evicted (and their alerts emitted)
-	// mid-stream instead of all pooling until Flush.
+	// mid-stream instead of all pooling until Flush. The cadence and
+	// drop introspection need the sink in hand, so the builder
+	// terminates through RunInto rather than the IDS helper.
 	const tickEvery = time.Minute
-	var idsSink v6scan.RecordSink
+	var idsSink v6scan.TerminalSink
 	var drained func() []v6scan.IDSAlert
 	var dropped func() uint64
 	if shards > 1 {
 		s := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, shards))
 		s.TickEvery = tickEvery
 		idsSink = s
-		drained = func() []v6scan.IDSAlert { return s.Alerts }
+		drained = s.Result
 		dropped = s.E.DroppedCandidates
 	} else {
 		s := v6scan.NewIDSSink(v6scan.NewIDS(cfg))
 		s.TickEvery = tickEvery
 		idsSink = s
-		drained = func() []v6scan.IDSAlert { return s.Alerts }
+		drained = s.Result
 		dropped = s.E.DroppedCandidates
 	}
-	counted := v6scan.NewPipelineCounter(idsSink)
-	var sink v6scan.RecordSink = counted
+	b := v6scan.From(src)
 	if filter {
-		sink = v6scan.NewArtifactStage(v6scan.NewArtifactFilter(), sink)
+		b.Artifact()
 	}
-	if err := v6scan.NewPipeline(src, sink).Run(); err != nil {
+	var counted *v6scan.PipelineCounter
+	b.Counter(&counted)
+	if err := b.RunInto(context.Background(), idsSink); err != nil {
 		log.Fatal(err)
 	}
 

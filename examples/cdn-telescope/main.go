@@ -36,8 +36,10 @@ func main() {
 	cfg.Census.End = from.Add(time.Duration(*weeks) * 7 * 24 * time.Hour)
 	cfg.Detector.WeekEpoch = from
 
-	// The Figure-1 heatmap collector joins the experiment pipeline as a
-	// sink on the raw (pre-policy) tap.
+	// The Figure-1 heatmap collector joins the experiment's builder
+	// pipeline as a sink on the raw (pre-policy) tap. A tap needing its
+	// own stages would compose one source-lessly:
+	// v6scan.Chain().Filter(pred).Into(sink).
 	heat := v6scan.NewHeatmapCollector()
 	cfg.RawSink = v6scan.CollectorSink(heat.Add)
 

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -67,16 +68,15 @@ func main() {
 		emit(netaddr6.RandomAddrIn(p64, rng), 6)
 	}
 
-	// One pipeline, two terminal sinks: the offline detector and the
-	// online dynamic-aggregation engine (sharded across -shards
-	// workers) see the identical stream.
+	// One pipeline, two terminal sinks: the offline detector rides a
+	// Tee branch while the online dynamic-aggregation engine (sharded
+	// across -shards workers) terminates the main chain — both see the
+	// identical stream.
 	det := v6scan.NewDetector(cfg)
-	engine := v6scan.NewShardedIDS(v6scan.DefaultIDSConfig(), *shards)
-	idsSink := v6scan.NewShardedIDSSink(engine)
-	p := v6scan.NewPipeline(
-		v6scan.NewSliceSource(recs),
-		v6scan.TeeStage(v6scan.NewDetectorSink(det), idsSink))
-	if err := p.Run(); err != nil {
+	idsSink := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(v6scan.DefaultIDSConfig(), *shards))
+	if err := v6scan.From(v6scan.NewSliceSource(recs)).
+		Tee(v6scan.NewDetectorSink(det)).
+		RunInto(context.Background(), idsSink); err != nil {
 		log.Fatal(err)
 	}
 
@@ -90,7 +90,7 @@ func main() {
 	}
 
 	fmt.Println("\nIDS engine alerts:")
-	for _, a := range idsSink.Alerts {
+	for _, a := range idsSink.Result() {
 		fmt.Printf("  %s\n", a)
 	}
 

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -59,11 +60,14 @@ func main() {
 			recs = rt
 		}
 
-		det := v6scan.NewMAWIDetector(mc)
-		for _, r := range recs {
-			det.Process(r)
+		// Each day is one capture window: a slice source terminated by
+		// the builder's MAWI helper, which owns the detector lifecycle
+		// and returns the window's scans.
+		scans, err := v6scan.From(v6scan.NewSliceSource(recs)).
+			MAWI(context.Background(), mc)
+		if err != nil {
+			log.Fatal(err)
 		}
-		scans := det.Finish()
 		var pkts, top1, top3 uint64
 		icmp := 0
 		for i, s := range scans {

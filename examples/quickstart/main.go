@@ -1,10 +1,12 @@
 // Quickstart: feed a synthetic stream of unsolicited packets through a
 // pipeline into the scan detector and print the detected scans at each
 // aggregation level. This is the minimal end-to-end use of the public
-// API: a record source, a sink chain, one Run.
+// API: a record source, a left-to-right builder chain, one terminal
+// call.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -39,16 +41,14 @@ func main() {
 		ts = ts.Add(100 * time.Millisecond)
 	}
 
-	// Compose the pipeline: source → collection policy → detector.
-	// Swap NewDetectorSink for NewShardedSink(NewShardedDetector(cfg, 8))
-	// to spread detection across worker shards — the output is
-	// identical.
-	det := v6scan.NewDetector(v6scan.DefaultDetectorConfig())
-	p := v6scan.NewPipeline(
-		v6scan.NewSliceSource(recs),
-		v6scan.PolicyStage(v6scan.DefaultCollectPolicy(),
-			v6scan.NewDetectorSink(det)))
-	if err := p.Run(); err != nil {
+	// Compose the pipeline left to right: source → collection policy →
+	// detector. Raise the final argument of Detect above 1 to spread
+	// detection across that many worker shards — the output is
+	// identical at any shard count.
+	det, err := v6scan.From(v6scan.NewSliceSource(recs)).
+		Policy(v6scan.DefaultCollectPolicy()).
+		Detect(context.Background(), v6scan.DefaultDetectorConfig(), 1)
+	if err != nil {
 		log.Fatal(err)
 	}
 

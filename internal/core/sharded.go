@@ -200,9 +200,11 @@ func (sd *ShardedDetector) Finish() error {
 	if sd.finished {
 		return sd.firstErr()
 	}
-	if err := sd.flushBuf(); err != nil {
-		return err
-	}
+	// Dispatch any staged records. A worker error must not skip the
+	// shutdown below: the channels still have to close and the workers
+	// join (they drain remaining messages after a failure), or every
+	// failed run would leak its shard goroutines.
+	ferr := sd.flushBuf()
 	sd.finished = true
 	for _, ch := range sd.chans {
 		close(ch)
@@ -222,7 +224,10 @@ func (sd *ShardedDetector) Finish() error {
 		}
 	}
 	sd.merged = merged
-	return sd.firstErr()
+	if err := sd.firstErr(); err != nil {
+		return err
+	}
+	return ferr
 }
 
 func (sd *ShardedDetector) firstErr() error {

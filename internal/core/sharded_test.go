@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -177,6 +178,50 @@ func TestShardedOutOfOrderError(t *testing.T) {
 	}
 	if err := sd.Finish(); err == nil {
 		t.Fatal("expected out-of-order error from Finish")
+	}
+}
+
+// TestShardedFinishAfterWorkerErrorReleasesWorkers verifies the failed
+// path still shuts the shards down: a worker error surfaced at Finish
+// must not leave the worker goroutines parked on their channels, and
+// repeated Finish/Close calls keep re-reporting the error instead of
+// hanging or panicking.
+func TestShardedFinishAfterWorkerErrorReleasesWorkers(t *testing.T) {
+	src := netaddr6.MustAddr("2001:db8::1")
+	dst := netaddr6.MustAddr("2001:db8:f::1")
+	t0 := time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)
+	recs := []firewall.Record{
+		{Time: t0.Add(time.Hour), Src: src, Dst: dst, Proto: layers.ProtoTCP, DstPort: 22, Length: 60},
+		{Time: t0, Src: src, Dst: dst, Proto: layers.ProtoTCP, DstPort: 22, Length: 60},
+	}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		sd := NewShardedDetector(parityConfig(), 4)
+		if err := sd.ProcessBatch(recs); err != nil {
+			t.Fatalf("ProcessBatch should defer errors, got %v", err)
+		}
+		// Wait until the worker has recorded the error (an empty
+		// dispatch surfaces it), so Finish deterministically takes the
+		// already-failed path rather than discovering the error at
+		// wg.Wait.
+		for j := 0; sd.ProcessBatch(nil) == nil; j++ {
+			if j > 10_000 {
+				t.Fatal("worker never surfaced the processing error")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		if err := sd.Finish(); err == nil {
+			t.Fatal("expected out-of-order error from Finish")
+		}
+		if err := sd.Finish(); err == nil {
+			t.Fatal("repeat Finish must re-report the error")
+		}
+	}
+	// Finish joins its workers via wg.Wait, so no settling loop is
+	// needed; allow a little slack for unrelated runtime goroutines.
+	if after := runtime.NumGoroutine(); after > before+5 {
+		t.Fatalf("goroutines grew %d → %d: failed Finish leaks shard workers", before, after)
 	}
 }
 

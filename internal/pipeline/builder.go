@@ -1,0 +1,233 @@
+package pipeline
+
+import (
+	"context"
+
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/ids"
+)
+
+// Builder assembles a pipeline fluently, left to right — the order
+// stages are named is the order records traverse them, mirroring the
+// paper's fixed processing chain (collection policy → per-day ordering
+// → 5-duplicate artifact filter → detection):
+//
+//	det, err := pipeline.From(src).
+//		Policy(firewall.DefaultCollectPolicy()).
+//		DaySort().
+//		Artifact().
+//		Detect(ctx, core.DefaultConfig(), 8)
+//
+// Builder methods mutate and return the same builder, so conditional
+// stages compose naturally (b := From(src); if filter { b.Artifact() }).
+// A builder is single-use: exactly one of the terminal calls (Build,
+// RunInto, Detect, IDS, MAWI — or Into for a source-less Chain) may be
+// made, after which the builder is spent; a second terminal call
+// panics.
+//
+// Every stage the builder emits is batch-native, so when the source
+// batches (BatchSource) and the terminal sink consumes batches
+// (BatchSink), the built pipeline reports Batched() == true and
+// records flow batch-to-batch through the entire chain. The terminal
+// helpers own the sink lifecycle: they run the pipeline, Flush
+// (finalize) and Close (release) the sink even on mid-stream errors,
+// and return the sink's typed result.
+type Builder struct {
+	src    Source
+	stages []func(next RecordSink) RecordSink
+	// branches collects Tee side sinks so RunInto can extend the
+	// terminal lifecycle (Close) to them.
+	branches []RecordSink
+	spent    bool
+}
+
+// From starts a builder reading from src.
+func From(src Source) *Builder { return &Builder{src: src} }
+
+// Chain starts a source-less builder: a stage chain terminated with
+// Into, for composing the sink side of a pipeline (simulation taps,
+// Tee branches) with the same left-to-right syntax.
+func Chain() *Builder { return &Builder{} }
+
+func (b *Builder) stage(f func(next RecordSink) RecordSink) *Builder {
+	b.stages = append(b.stages, f)
+	return b
+}
+
+// Policy appends a collection-policy filter stage (the CDN's
+// no-TCP/80, no-TCP/443, no-ICMPv6 rule).
+func (b *Builder) Policy(p firewall.CollectPolicy) *Builder {
+	return b.stage(func(next RecordSink) RecordSink { return Policy(p, next) })
+}
+
+// Filter appends a predicate filter stage.
+func (b *Builder) Filter(pred func(r firewall.Record) bool) *Builder {
+	return b.stage(func(next RecordSink) RecordSink { return Filter(pred, next) })
+}
+
+// Tap appends an observer stage invoking fn on every record.
+func (b *Builder) Tap(fn func(r firewall.Record)) *Builder {
+	return b.stage(func(next RecordSink) RecordSink { return Tap(fn, next) })
+}
+
+// Counter appends a counting stage and stores it in *out at build
+// time, so the caller can read Count after the run:
+//
+//	var logged *pipeline.Counter
+//	b.Counter(&logged)
+func (b *Builder) Counter(out **Counter) *Builder {
+	return b.stage(func(next RecordSink) RecordSink {
+		c := NewCounter(next)
+		*out = c
+		return c
+	})
+}
+
+// DaySort appends a per-UTC-day buffering sort stage.
+func (b *Builder) DaySort() *Builder {
+	return b.stage(func(next RecordSink) RecordSink { return NewDaySort(next) })
+}
+
+// Artifact appends the 5-duplicate artifact pre-filter. With no
+// argument a fresh filter with the paper's parameters is created at
+// build time; pass your own (at most one) to configure it or to read
+// its Stats after the run.
+func (b *Builder) Artifact(filter ...*firewall.ArtifactFilter) *Builder {
+	return b.stage(func(next RecordSink) RecordSink {
+		f := firewall.NewArtifactFilter()
+		if len(filter) > 0 {
+			f = filter[0]
+		}
+		return NewArtifactStage(f, next)
+	})
+}
+
+// Tee appends a fan-out stage: every branch sees each record (side
+// branches first, in argument order), and the stream continues down
+// the main chain. Branches are flushed when the pipeline flushes, and
+// RunInto closes branches implementing Sink along with the terminal.
+// On the batch path each batch-capable branch but the main chain
+// receives a copy, so a compacting branch cannot corrupt its
+// siblings' view.
+func (b *Builder) Tee(branches ...RecordSink) *Builder {
+	b.branches = append(b.branches, branches...)
+	return b.stage(func(next RecordSink) RecordSink {
+		sinks := make([]RecordSink, 0, len(branches)+1)
+		sinks = append(sinks, branches...)
+		sinks = append(sinks, next)
+		return &teeStage{sinks: sinks}
+	})
+}
+
+// mark enforces single use: stage factories hold out-pointers and
+// build-time state (the Artifact filter), so folding them twice would
+// silently share state between runs.
+func (b *Builder) mark() {
+	if b.spent {
+		panic("pipeline: builder reused after Build/Into/RunInto (builders are single-use)")
+	}
+	b.spent = true
+}
+
+// Into folds the stages around sink and returns the head of the
+// resulting chain — the terminal for source-less Chain builders.
+func (b *Builder) Into(sink RecordSink) RecordSink {
+	b.mark()
+	head := sink
+	for i := len(b.stages) - 1; i >= 0; i-- {
+		head = b.stages[i](head)
+	}
+	return head
+}
+
+// Build folds the stages around sink and couples the source to the
+// chain. The returned pipeline's Batched() asserts full batch
+// continuity: the source batches, every stage is batch-native, and
+// the terminal sink consumes batches.
+func (b *Builder) Build(sink RecordSink) *Pipeline {
+	if b.src == nil {
+		panic("pipeline: Build on a source-less Chain builder (use Into)")
+	}
+	b.mark()
+	_, batched := sink.(BatchSink)
+	head := sink
+	for i := len(b.stages) - 1; i >= 0; i-- {
+		head = b.stages[i](head)
+		if _, ok := head.(BatchSink); !ok {
+			batched = false
+		}
+	}
+	p := New(b.src, head)
+	p.batched = p.batched && batched
+	return p
+}
+
+// RunInto builds the pipeline into sink and runs it under ctx, owning
+// the sink lifecycle: the chain is flushed even on a mid-stream error,
+// and afterwards the terminal — and every Tee branch sink — that
+// implements Sink is closed. The run error wins over any teardown
+// error; otherwise the first teardown error is returned.
+func (b *Builder) RunInto(ctx context.Context, sink RecordSink) error {
+	branches := b.branches
+	err := b.Build(sink).RunContext(ctx)
+	for _, s := range append([]RecordSink{sink}, branches...) {
+		if c, ok := s.(Sink); ok {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+// Detect terminates the pipeline in the multi-aggregation scan
+// detector — sharded across shards worker goroutines when shards > 1,
+// plain otherwise — runs it, and returns the finished detector (for
+// the sharded path, the deterministically merged view; output is
+// identical at any shard count).
+func (b *Builder) Detect(ctx context.Context, cfg core.Config, shards int) (*core.Detector, error) {
+	if shards > 1 {
+		sink := NewShardedSink(core.NewShardedDetector(cfg, shards))
+		if err := b.RunInto(ctx, sink); err != nil {
+			return nil, err
+		}
+		return sink.Result(), nil
+	}
+	sink := NewDetectorSink(core.NewDetector(cfg))
+	if err := b.RunInto(ctx, sink); err != nil {
+		return nil, err
+	}
+	return sink.Result(), nil
+}
+
+// IDS terminates the pipeline in the dynamic-aggregation IDS engine —
+// sharded when shards > 1 — runs it, and returns the accumulated
+// alerts (byte-identical at any shard count). For a stream-time Tick
+// cadence or engine introspection, construct an IDSSink /
+// ShardedIDSSink directly and use RunInto.
+func (b *Builder) IDS(ctx context.Context, cfg ids.Config, shards int) ([]ids.Alert, error) {
+	if shards > 1 {
+		sink := NewShardedIDSSink(ids.NewSharded(cfg, shards))
+		if err := b.RunInto(ctx, sink); err != nil {
+			return nil, err
+		}
+		return sink.Result(), nil
+	}
+	sink := NewIDSSink(ids.New(cfg))
+	if err := b.RunInto(ctx, sink); err != nil {
+		return nil, err
+	}
+	return sink.Result(), nil
+}
+
+// MAWI terminates the pipeline in a capture-window MAWI detector
+// (extended Fukuda–Heidemann definition), runs it, and returns the
+// window's scans.
+func (b *Builder) MAWI(ctx context.Context, cfg core.MAWIConfig) ([]core.MAWIScan, error) {
+	sink := NewMAWISink(core.NewMAWIDetector(cfg))
+	if err := b.RunInto(ctx, sink); err != nil {
+		return nil, err
+	}
+	return sink.Result(), nil
+}

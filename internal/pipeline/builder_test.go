@@ -1,0 +1,406 @@
+package pipeline
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"v6scan/internal/core"
+	"v6scan/internal/firewall"
+	"v6scan/internal/ids"
+	"v6scan/internal/layers"
+	"v6scan/internal/netaddr6"
+)
+
+// mixedStream synthesizes days of interleaved traffic exercising every
+// standard stage: a scanner (detected), artifact duplicates (dropped
+// by the 5-duplicate filter), policy-excluded records (TCP/443,
+// ICMPv6), and out-of-order timestamps within each day (fixed by
+// DaySort).
+func mixedStream(days, perDay int) []firewall.Record {
+	rng := rand.New(rand.NewSource(17))
+	scanner := netaddr6.MustAddr("2001:db8:bad::1")
+	artifact := netaddr6.MustAddr("2001:db8:aaaa::1")
+	client := netaddr6.MustAddr("2001:db8:c11e::1")
+	dsts := netaddr6.MustPrefix("2001:db8:f::/48")
+	artDst := netaddr6.MustAddr("2001:db8:f::99")
+	day0 := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	var recs []firewall.Record
+	for d := 0; d < days; d++ {
+		day := day0.Add(time.Duration(d) * 24 * time.Hour)
+		for i := 0; i < perDay; i++ {
+			// Jittered (not monotonic) intra-day timestamps.
+			ts := day.Add(time.Duration(rng.Intn(20*3600)) * time.Second)
+			switch i % 4 {
+			case 0: // scanner probe
+				recs = append(recs, firewall.Record{
+					Time: ts, Src: scanner, Dst: netaddr6.RandomAddrIn(dsts, rng),
+					Proto: layers.ProtoTCP, SrcPort: 40000, DstPort: 22, Length: 60,
+				})
+			case 1: // artifact duplicate (same dst, same service, all day)
+				recs = append(recs, firewall.Record{
+					Time: ts, Src: artifact, Dst: artDst,
+					Proto: layers.ProtoTCP, DstPort: 25, Length: 80,
+				})
+			case 2: // excluded by the CDN collection policy
+				recs = append(recs, firewall.Record{
+					Time: ts, Src: client, Dst: netaddr6.RandomAddrIn(dsts, rng),
+					Proto: layers.ProtoTCP, DstPort: 443, Length: 60,
+				})
+			case 3: // ICMPv6, also excluded
+				recs = append(recs, firewall.Record{
+					Time: ts, Src: client, Dst: netaddr6.RandomAddrIn(dsts, rng),
+					Proto: layers.ProtoICMPv6, Length: 48,
+				})
+			}
+		}
+	}
+	// Days must arrive in order; within a day any order is accepted.
+	return recs
+}
+
+// recordOnlySink deliberately does not implement BatchSink, to force
+// and to detect the per-record path.
+type recordOnlySink struct {
+	recs    []firewall.Record
+	flushes int
+}
+
+func (s *recordOnlySink) Consume(r firewall.Record) error { s.recs = append(s.recs, r); return nil }
+func (s *recordOnlySink) Flush() error                    { s.flushes++; return nil }
+
+// TestBuilderMatchesNestedChain runs the full paper chain (policy →
+// day sort → artifact filter → detector) both ways — nested
+// constructors fed record by record, and the batch-native builder
+// pipeline — and requires identical scans and filter statistics.
+func TestBuilderMatchesNestedChain(t *testing.T) {
+	recs := mixedStream(3, 2000)
+	pol := firewall.DefaultCollectPolicy()
+
+	refFilter := firewall.NewArtifactFilter()
+	refDet := core.NewDetector(core.DefaultConfig())
+	refHead := Policy(pol, NewDaySort(NewArtifactStage(refFilter, NewDetectorSink(refDet))))
+	for _, r := range recs {
+		if err := refHead.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := refHead.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	filter := firewall.NewArtifactFilter()
+	var counted *Counter
+	b := From(SliceSource(recs)).Policy(pol).DaySort().Artifact(filter).Counter(&counted)
+	det, err := b.Detect(context.Background(), core.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, lvl := range []netaddr6.AggLevel{netaddr6.Agg128, netaddr6.Agg64, netaddr6.Agg48} {
+		want, got := refDet.Scans(lvl), det.Scans(lvl)
+		if len(want) != len(got) {
+			t.Fatalf("%v: %d scans vs %d", lvl, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Source != got[i].Source || want[i].Packets != got[i].Packets || want[i].Dsts != got[i].Dsts {
+				t.Fatalf("%v scan %d differs: %+v vs %+v", lvl, i, got[i], want[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(refFilter.Stats(), filter.Stats()) {
+		t.Fatalf("filter stats differ:\n%+v\n%+v", filter.Stats(), refFilter.Stats())
+	}
+	if counted.Count() == 0 || counted.Count() >= uint64(len(recs)) {
+		t.Fatalf("post-filter count %d implausible for %d input records", counted.Count(), len(recs))
+	}
+}
+
+// TestBuilderBatchContinuity verifies the Batched assertion: true only
+// when the source batches, every stage is batch-native, and the
+// terminal consumes batches.
+func TestBuilderBatchContinuity(t *testing.T) {
+	recs := scanStream(10)
+	full := From(SliceSource(recs)).
+		Policy(firewall.DefaultCollectPolicy()).
+		DaySort().
+		Artifact().
+		Build(NewShardedSink(core.NewShardedDetector(core.DefaultConfig(), 2)))
+	if !full.Batched() {
+		t.Fatal("fully filtered builder pipeline should be batched end to end")
+	}
+	if err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if p := From(SliceSource(recs)).Build(&recordOnlySink{}); p.Batched() {
+		t.Fatal("record-only terminal cannot be batched")
+	}
+	src := SourceFunc(SliceSource(recs).Emit)
+	if p := From(src).Policy(firewall.DefaultCollectPolicy()).Build(Discard); p.Batched() {
+		t.Fatal("non-batching source cannot be batched")
+	}
+	if p := New(SliceSource(recs), Discard); !p.Batched() {
+		t.Fatal("New with batch source and batch sink should report batched")
+	}
+}
+
+// TestBuilderTeeBranchesSeePreCompactionStream verifies batch-path
+// mutation safety: a Tee branch must observe the full stream even when
+// the continuing main chain compacts batches in place.
+func TestBuilderTeeBranchesSeePreCompactionStream(t *testing.T) {
+	recs := scanStream(1000)
+	for i := range recs {
+		if i%2 == 1 {
+			recs[i].DstPort = 443 // dropped by the policy stage downstream
+		}
+	}
+	var branch, main *Counter
+	b := From(SliceSource(recs)).
+		Tee(Chain().Counter(&branch).Into(Discard)).
+		Policy(firewall.DefaultCollectPolicy()).
+		Counter(&main)
+	p := b.Build(Discard)
+	if !p.Batched() {
+		t.Fatal("tee chain should stay batched")
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if branch.Count() != uint64(len(recs)) {
+		t.Fatalf("branch saw %d of %d records", branch.Count(), len(recs))
+	}
+	if main.Count() != uint64(len(recs)/2) {
+		t.Fatalf("main chain saw %d records, want %d", main.Count(), len(recs)/2)
+	}
+	// The caller's slice must not have been mutated by the compacting
+	// policy stage (SliceSource hands out copies).
+	for i := range recs {
+		if i%2 == 1 && recs[i].DstPort != 443 {
+			t.Fatalf("input slice mutated at %d", i)
+		}
+	}
+}
+
+// closeTrackingSink records lifecycle calls, for branch-teardown
+// checks.
+type closeTrackingSink struct {
+	recs    int
+	flushes int
+	closes  int
+}
+
+func (s *closeTrackingSink) Consume(firewall.Record) error { s.recs++; return nil }
+func (s *closeTrackingSink) Flush() error                  { s.flushes++; return nil }
+func (s *closeTrackingSink) Close() error                  { s.closes++; return nil }
+
+// TestRunIntoClosesTeeBranches verifies the unified lifecycle reaches
+// Tee side sinks: RunInto must close branch sinks implementing Sink,
+// not just the terminal.
+func TestRunIntoClosesTeeBranches(t *testing.T) {
+	recs := scanStream(100)
+	branch := &closeTrackingSink{}
+	term := &closeTrackingSink{}
+	if err := From(SliceSource(recs)).Tee(branch).RunInto(context.Background(), term); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*closeTrackingSink{"branch": branch, "terminal": term} {
+		if s.recs != len(recs) || s.flushes != 1 || s.closes != 1 {
+			t.Fatalf("%s: recs=%d flushes=%d closes=%d, want %d/1/1", name, s.recs, s.flushes, s.closes, len(recs))
+		}
+	}
+}
+
+// TestBuilderSingleUse verifies a second terminal call panics instead
+// of silently sharing stage state (Artifact filters, Counter
+// out-pointers) between runs.
+func TestBuilderSingleUse(t *testing.T) {
+	b := From(SliceSource(scanStream(10))).Artifact()
+	if err := b.RunInto(context.Background(), Discard); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a spent builder should panic")
+		}
+	}()
+	b.Build(Discard)
+}
+
+// TestTeeRecordOnlyBranchOnBatchPath checks a non-batch branch sink
+// still sees every record when the tee runs on the batch path.
+func TestTeeRecordOnlyBranchOnBatchPath(t *testing.T) {
+	recs := scanStream(1000)
+	branch := &recordOnlySink{}
+	var main *Counter
+	b := From(SliceSource(recs)).Tee(branch).Counter(&main)
+	p := b.Build(Discard)
+	if !p.Batched() {
+		t.Fatal("main chain should stay batched around a record-only branch")
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(branch.recs) != len(recs) || main.Count() != uint64(len(recs)) {
+		t.Fatalf("branch saw %d, main %d, want %d", len(branch.recs), main.Count(), len(recs))
+	}
+}
+
+// TestBuilderTerminalHelpers checks that Detect/IDS/MAWI produce the
+// same results as hand-run engines, serial and sharded.
+func TestBuilderTerminalHelpers(t *testing.T) {
+	recs := scanStream(400)
+
+	serial, err := From(SliceSource(recs)).Detect(context.Background(), core.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := From(SliceSource(recs)).Detect(context.Background(), core.DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, sh := serial.Scans(netaddr6.Agg64), sharded.Scans(netaddr6.Agg64)
+	if len(ss) != 1 || len(sh) != 1 || ss[0].Dsts != sh[0].Dsts {
+		t.Fatalf("detect results differ: %+v vs %+v", ss, sh)
+	}
+
+	ref := ids.New(ids.DefaultConfig())
+	for _, r := range recs {
+		ref.Process(r)
+	}
+	want := ref.Flush()
+	for _, shards := range []int{1, 3} {
+		alerts, err := From(SliceSource(recs)).IDS(context.Background(), ids.DefaultConfig(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alerts) != len(want) || len(want) == 0 {
+			t.Fatalf("IDS(%d): %v, want %v", shards, alerts, want)
+		}
+		if alerts[0] != want[0] {
+			t.Fatalf("IDS(%d) alert differs: %+v vs %+v", shards, alerts[0], want[0])
+		}
+	}
+
+	mref := core.NewMAWIDetector(core.DefaultMAWIConfig())
+	for _, r := range recs {
+		mref.Process(r)
+	}
+	wantScans := mref.Finish()
+	scans, err := From(SliceSource(recs)).MAWI(context.Background(), core.DefaultMAWIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scans) != len(wantScans) || len(scans) == 0 || scans[0].Dsts != wantScans[0].Dsts {
+		t.Fatalf("MAWI helper: %+v, want %+v", scans, wantScans)
+	}
+}
+
+// TestChainInto composes a source-less stage chain for a tap sink and
+// checks left-to-right order semantics.
+func TestChainInto(t *testing.T) {
+	var seen []firewall.Record
+	sink := Chain().
+		Filter(func(r firewall.Record) bool { return r.DstPort == 22 }).
+		DaySort().
+		Into(Collector(func(r firewall.Record) { seen = append(seen, r) }))
+
+	recs := scanStream(50)
+	recs[7].DstPort = 80
+	// Shuffle within the day to prove DaySort runs after Filter.
+	recs[3], recs[40] = recs[40], recs[3]
+	for _, r := range recs {
+		if err := sink.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 49 {
+		t.Fatalf("saw %d records, want 49", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i].Time.Before(seen[i-1].Time) {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+}
+
+// TestRunContextCancel verifies cancellation aborts both dispatch
+// paths with ctx's error while still flushing the chain.
+func TestRunContextCancel(t *testing.T) {
+	recs := scanStream(10_000)
+
+	t.Run("batch", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		sink := &recordOnlySink{}
+		// SinkFunc-based head keeps the chain batched; cancel fires
+		// mid-first-batch, so the second batch must never arrive.
+		head := Tap(func(firewall.Record) {
+			if n++; n == 100 {
+				cancel()
+			}
+		}, sink)
+		p := From(SliceSource(recs)).Build(head)
+		err := p.RunContext(ctx)
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if len(sink.recs) != DefaultBatchSize {
+			t.Fatalf("consumed %d records, want exactly the first batch (%d)", len(sink.recs), DefaultBatchSize)
+		}
+		if sink.flushes != 1 {
+			t.Fatalf("flushes = %d, want 1 (chain must flush on abort)", sink.flushes)
+		}
+	})
+
+	t.Run("record", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		sink := &recordOnlySink{}
+		// The head must hide its batch capability to force the
+		// per-record dispatch path.
+		p := New(SliceSource(recs), &wrapRecordOnly{Tap(func(firewall.Record) {
+			if n++; n == 100 {
+				cancel()
+			}
+		}, sink)})
+		err := p.RunContext(ctx)
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if len(sink.recs) != 100 {
+			t.Fatalf("consumed %d records, want 100", len(sink.recs))
+		}
+		if sink.flushes != 1 {
+			t.Fatalf("flushes = %d, want 1", sink.flushes)
+		}
+	})
+
+	t.Run("sharded terminal releases workers", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		sink := NewShardedSink(core.NewShardedDetector(core.DefaultConfig(), 4))
+		b := From(SliceSource(recs)).Tap(func(firewall.Record) {
+			if n++; n == 5000 {
+				cancel()
+			}
+		})
+		// RunInto flushes and closes the sharded sink even though the
+		// run aborted, so Finish has run and Result is safe to read.
+		if err := b.RunInto(ctx, sink); err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		_ = sink.Result() // must not panic: Close implies Finish
+	})
+}
+
+// wrapRecordOnly hides an inner sink's batch capability.
+type wrapRecordOnly struct{ inner RecordSink }
+
+func (w *wrapRecordOnly) Consume(r firewall.Record) error { return w.inner.Consume(r) }
+func (w *wrapRecordOnly) Flush() error                    { return w.inner.Flush() }

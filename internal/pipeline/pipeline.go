@@ -10,21 +10,29 @@
 // captures, the CDN and MAWI simulators) composes freely with
 // processing and terminal consumers.
 //
-//	src := pipeline.NewLogSource(f)
-//	det := core.NewShardedDetector(core.DefaultConfig(), 8)
-//	p := pipeline.New(src,
-//		pipeline.Policy(firewall.DefaultCollectPolicy(),
-//			pipeline.NewArtifactStage(firewall.NewArtifactFilter(),
-//				pipeline.NewShardedSink(det))))
-//	if err := p.Run(); err != nil { ... }
+// Pipelines are assembled left to right with the fluent Builder — the
+// order stages are named is the order records traverse them:
 //
-// Stages pass records downstream synchronously; parallelism lives in
-// the sharded detector sink, which partitions batches across worker
-// shards. Flush propagates end-of-stream down the chain so buffered
-// stages drain and detectors finalize exactly once.
+//	det, err := pipeline.From(pipeline.NewLogSource(f)).
+//		Policy(firewall.DefaultCollectPolicy()).
+//		Artifact().
+//		Detect(ctx, core.DefaultConfig(), 8)
+//
+// Every built-in stage is batch-native: when the source can emit
+// chunked runs (BatchSource) and the terminal sink consumes them
+// (BatchSink), records flow batch-to-batch through the whole chain —
+// filter stages compact each run in place — and Pipeline.Batched
+// reports that the fast path engaged. Stages pass records downstream
+// synchronously; parallelism lives in the sharded sinks, which
+// partition batches across worker shards. Flush propagates
+// end-of-stream down the chain so buffered stages drain and detectors
+// finalize exactly once; Close (on terminal sinks) releases resources
+// and is owned by the builder's RunInto.
 package pipeline
 
 import (
+	"context"
+
 	"v6scan/internal/firewall"
 )
 
@@ -39,12 +47,27 @@ type RecordSink interface {
 	Flush() error
 }
 
-// BatchSink is implemented by sinks with a fast batch path (the
-// sharded detector). Stages that buffer runs of records hand them to
-// ConsumeBatch when the downstream supports it.
+// BatchSink is implemented by sinks with a fast batch path. All
+// built-in stages and terminal sinks implement it, so a fully filtered
+// pipeline stays batch-to-batch. ConsumeBatch receives a slice that is
+// only valid for the duration of the call, and that the consumer may
+// compact or reorder in place (filter stages do): callers must pass
+// buffers they own, and consumers that retain records must copy.
 type BatchSink interface {
 	RecordSink
 	ConsumeBatch(recs []firewall.Record) error
+}
+
+// Sink is the unified terminal-sink lifecycle. Flush finalizes
+// results exactly once (further calls are no-ops), after which the
+// sink's typed result accessor — DetectorSink.Result, MAWISink.Result,
+// IDSSink.Result, … — is valid. Close releases held resources (worker
+// goroutines, buffered writers); it is idempotent, implies Flush, and
+// is safe after a mid-stream error. The builder's RunInto owns calling
+// both.
+type Sink interface {
+	RecordSink
+	Close() error
 }
 
 // Source produces records in non-decreasing time order, pushing each
@@ -54,16 +77,16 @@ type Source interface {
 }
 
 // BatchSource is implemented by sources that can emit chunked runs of
-// records (the slice, log and pcap sources). Pipelines whose terminal
-// sink is a BatchSink stream batch-to-batch, skipping the per-record
-// indirection entirely — the path the sharded detector and sharded IDS
-// engine are fed through.
+// records (the slice, log and pcap sources). Pipelines coupling one to
+// a BatchSink chain stream batch-to-batch, skipping the per-record
+// indirection entirely.
 type BatchSource interface {
 	Source
 	// EmitBatch pushes runs of up to batchSize records into emit. The
-	// slice is only valid for the duration of the call: sources reuse
-	// the backing array, so sinks that retain records must copy (the
-	// sharded consumers already partition into fresh slices).
+	// emitted slice must be owned by the source (sources reuse and
+	// refill the backing array per call): consumers may compact it in
+	// place, and sinks that retain records must copy (the sharded
+	// consumers already partition into fresh slices).
 	EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error
 }
 
@@ -80,37 +103,74 @@ func (f SourceFunc) Emit(emit func(r firewall.Record) error) error { return f(em
 
 // Pipeline couples a source to a sink chain.
 type Pipeline struct {
-	src  Source
-	sink RecordSink
+	src     Source
+	sink    RecordSink
+	batched bool
 }
 
-// New returns a pipeline streaming src into sink.
+// New returns a pipeline streaming src into sink. Prefer assembling
+// chains with From(...).Build / RunInto — the builder also verifies
+// batch continuity through every intermediate stage.
 func New(src Source, sink RecordSink) *Pipeline {
-	return &Pipeline{src: src, sink: sink}
+	_, bok := src.(BatchSource)
+	_, sok := sink.(BatchSink)
+	return &Pipeline{src: src, sink: sink, batched: bok && sok}
 }
 
-// Run streams every record from the source through the sink chain,
-// then flushes it. When the source can emit chunks and the first sink
-// consumes them (BatchSource into BatchSink), records flow in batches
-// of DefaultBatchSize; otherwise record by record. The first error —
-// from the source, a stage, or the terminal sink — aborts the run. The
-// chain is flushed even on a mid-stream error so sinks holding
+// Batched reports whether Run streams in batches rather than record by
+// record. For a pipeline from New it covers the first hop (BatchSource
+// into a BatchSink chain head); for a builder-built pipeline it
+// additionally asserts that every intermediate stage is batch-native,
+// so true means batch-to-batch from EmitBatch to the terminal sink.
+func (p *Pipeline) Batched() bool { return p.batched }
+
+// Run is RunContext with a background context.
+func (p *Pipeline) Run() error { return p.RunContext(context.Background()) }
+
+// RunContext streams every record from the source through the sink
+// chain, then flushes it. When the source can emit chunks and the
+// first sink consumes them (BatchSource into BatchSink), records flow
+// in batches of DefaultBatchSize; otherwise record by record. The
+// first error — from the source, a stage, the terminal sink, or ctx
+// being cancelled (checked per record or per batch) — aborts the run.
+// The chain is flushed even on a mid-stream error so sinks holding
 // resources (the sharded consumers' worker goroutines, buffered
 // writers) release them; the original error wins over any flush error.
-func (p *Pipeline) Run() error {
-	var err error
-	bsrc, bok := p.src.(BatchSource)
-	bsink, sok := p.sink.(BatchSink)
-	if bok && sok {
-		err = bsrc.EmitBatch(DefaultBatchSize, bsink.ConsumeBatch)
-	} else {
-		err = p.src.Emit(p.sink.Consume)
-	}
+func (p *Pipeline) RunContext(ctx context.Context) error {
+	err := p.stream(ctx)
 	ferr := p.sink.Flush()
 	if err != nil {
 		return err
 	}
 	return ferr
+}
+
+func (p *Pipeline) stream(ctx context.Context) error {
+	cancellable := ctx.Done() != nil
+	if bsrc, ok := p.src.(BatchSource); ok {
+		if bsink, ok := p.sink.(BatchSink); ok {
+			emit := bsink.ConsumeBatch
+			if cancellable {
+				emit = func(recs []firewall.Record) error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					return bsink.ConsumeBatch(recs)
+				}
+			}
+			return bsrc.EmitBatch(DefaultBatchSize, emit)
+		}
+	}
+	emit := p.sink.Consume
+	if cancellable {
+		emit = func(r firewall.Record) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return p.sink.Consume(r)
+		}
+	}
+	return p.src.Emit(emit)
 }
 
 // consumeBatch forwards a run of records to next, using the batch path

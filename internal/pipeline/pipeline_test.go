@@ -160,11 +160,29 @@ func TestRunUsesBatchPath(t *testing.T) {
 	if want := (len(recs) + DefaultBatchSize - 1) / DefaultBatchSize; batches != want {
 		t.Fatalf("batch path saw %d batches, want %d", batches, want)
 	}
-	// A funcStage in front is not a BatchSink: Run falls back to the
-	// record path, and every record still arrives.
+	// Filter stages are batch-native now, so an intermediate filter no
+	// longer breaks the batch path.
+	batches, records = 0, 0
+	sink2 := &countingBatchSink{onBatch: func(n int) { batches++; records += n }}
+	p := New(SliceSource(recs), Filter(func(firewall.Record) bool { return true }, sink2))
+	if !p.Batched() {
+		t.Fatal("filtered chain should stay batched")
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if records != len(recs) || batches >= len(recs) {
+		t.Fatalf("filtered batch path consumed %d records in %d batches", records, batches)
+	}
+	// A sink chain whose head hides batch capability forces the record
+	// path, and every record still arrives.
 	records = 0
-	sink2 := &countingBatchSink{onBatch: func(n int) { records += n }}
-	if err := New(SliceSource(recs), Filter(func(firewall.Record) bool { return true }, sink2)).Run(); err != nil {
+	sink3 := &countingBatchSink{onBatch: func(n int) { records += n }}
+	p = New(SliceSource(recs), &wrapRecordOnly{sink3})
+	if p.Batched() {
+		t.Fatal("record-only head cannot be batched")
+	}
+	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if records != len(recs) {

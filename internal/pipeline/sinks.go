@@ -8,14 +8,35 @@ import (
 	"v6scan/internal/ids"
 )
 
+// Every built-in terminal sink implements the unified Sink lifecycle:
+// Flush finalizes results exactly once (repeat calls are no-ops),
+// Close implies Flush, is idempotent, and releases held resources —
+// so the builder's RunInto can tear any terminal down uniformly, even
+// after a mid-stream error. Results are read through each sink's typed
+// Result accessor, valid after Flush.
+
 // SinkFunc adapts a record function to RecordSink; Flush is a no-op.
 type SinkFunc func(r firewall.Record) error
 
 // Consume implements RecordSink.
 func (f SinkFunc) Consume(r firewall.Record) error { return f(r) }
 
+// ConsumeBatch implements BatchSink so function sinks (collectors,
+// Discard) terminate a batch chain without breaking continuity.
+func (f SinkFunc) ConsumeBatch(recs []firewall.Record) error {
+	for i := range recs {
+		if err := f(recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Flush implements RecordSink.
 func (f SinkFunc) Flush() error { return nil }
+
+// Close implements Sink.
+func (f SinkFunc) Close() error { return nil }
 
 // Collector adapts an error-free accumulator (the analysis package's
 // HeatmapCollector.Add, DNSCollector.Add, …) to RecordSink.
@@ -33,7 +54,8 @@ var Discard RecordSink = SinkFunc(func(firewall.Record) error { return nil })
 // detector. Flush calls Finish, after which the detector's scan
 // accessors are valid.
 type DetectorSink struct {
-	D *core.Detector
+	D       *core.Detector
+	flushed bool
 }
 
 // NewDetectorSink wraps a detector.
@@ -52,11 +74,20 @@ func (s *DetectorSink) ConsumeBatch(recs []firewall.Record) error {
 	return nil
 }
 
-// Flush implements RecordSink.
+// Flush implements RecordSink, finalizing the detector exactly once.
 func (s *DetectorSink) Flush() error {
-	s.D.Finish()
+	if !s.flushed {
+		s.flushed = true
+		s.D.Finish()
+	}
 	return nil
 }
+
+// Close implements Sink.
+func (s *DetectorSink) Close() error { return s.Flush() }
+
+// Result returns the finished detector. Valid after Flush.
+func (s *DetectorSink) Result() *core.Detector { return s.D }
 
 // ShardedSink terminates a pipeline in the sharded detector,
 // forwarding batches to its parallel ProcessBatch path. Flush calls
@@ -74,14 +105,24 @@ func (s *ShardedSink) Consume(r firewall.Record) error { return s.D.Process(r) }
 // ConsumeBatch implements BatchSink.
 func (s *ShardedSink) ConsumeBatch(recs []firewall.Record) error { return s.D.ProcessBatch(recs) }
 
-// Flush implements RecordSink.
+// Flush implements RecordSink. The detector's Finish is idempotent, so
+// repeat flushes only re-report the first worker error.
 func (s *ShardedSink) Flush() error { return s.D.Finish() }
+
+// Close implements Sink, stopping the worker shards if Flush has not
+// already.
+func (s *ShardedSink) Close() error { return s.D.Finish() }
+
+// Result returns the merged single-detector view of all shards — the
+// same object the analysis builders consume. Valid after Flush.
+func (s *ShardedSink) Result() *core.Detector { return s.D.Merged() }
 
 // MAWISink terminates a pipeline in a capture-window MAWI detector;
 // Flush stores the window's scans in Scans.
 type MAWISink struct {
-	D     *core.MAWIDetector
-	Scans []core.MAWIScan
+	D       *core.MAWIDetector
+	Scans   []core.MAWIScan
+	flushed bool
 }
 
 // NewMAWISink wraps a MAWI detector.
@@ -93,11 +134,28 @@ func (s *MAWISink) Consume(r firewall.Record) error {
 	return nil
 }
 
-// Flush implements RecordSink.
-func (s *MAWISink) Flush() error {
-	s.Scans = s.D.Finish()
+// ConsumeBatch implements BatchSink.
+func (s *MAWISink) ConsumeBatch(recs []firewall.Record) error {
+	for i := range recs {
+		s.D.Process(recs[i])
+	}
 	return nil
 }
+
+// Flush implements RecordSink, finalizing the window exactly once.
+func (s *MAWISink) Flush() error {
+	if !s.flushed {
+		s.flushed = true
+		s.Scans = s.D.Finish()
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *MAWISink) Close() error { return s.Flush() }
+
+// Result returns the window's detected scans. Valid after Flush.
+func (s *MAWISink) Result() []core.MAWIScan { return s.Scans }
 
 // IDSSink terminates a pipeline in the dynamic-aggregation IDS engine;
 // Flush stores the accumulated alerts in Alerts.
@@ -111,6 +169,7 @@ type IDSSink struct {
 	TickEvery time.Duration
 	Alerts    []ids.Alert
 	lastTick  time.Time
+	flushed   bool
 }
 
 // NewIDSSink wraps an IDS engine.
@@ -150,11 +209,22 @@ func (s *IDSSink) ConsumeBatch(recs []firewall.Record) error {
 	return nil
 }
 
-// Flush implements RecordSink.
+// Flush implements RecordSink, draining the engine exactly once (a
+// second Flush would return an empty alert set, so repeats are
+// no-ops).
 func (s *IDSSink) Flush() error {
-	s.Alerts = s.E.Flush()
+	if !s.flushed {
+		s.flushed = true
+		s.Alerts = s.E.Flush()
+	}
 	return nil
 }
+
+// Close implements Sink.
+func (s *IDSSink) Close() error { return s.Flush() }
+
+// Result returns the accumulated alerts. Valid after Flush.
+func (s *IDSSink) Result() []ids.Alert { return s.Alerts }
 
 // ShardedIDSSink terminates a pipeline in the sharded IDS engine,
 // forwarding batches to its parallel ProcessBatch path; Flush stops
@@ -165,6 +235,7 @@ type ShardedIDSSink struct {
 	TickEvery time.Duration
 	Alerts    []ids.Alert
 	lastTick  time.Time
+	flushed   bool
 }
 
 // NewShardedIDSSink wraps a sharded IDS engine.
@@ -199,11 +270,22 @@ func (s *ShardedIDSSink) ConsumeBatch(recs []firewall.Record) error {
 	return nil
 }
 
-// Flush implements RecordSink.
+// Flush implements RecordSink, stopping the workers and merging the
+// alerts exactly once.
 func (s *ShardedIDSSink) Flush() error {
-	s.Alerts = s.E.Flush()
+	if !s.flushed {
+		s.flushed = true
+		s.Alerts = s.E.Flush()
+	}
 	return nil
 }
+
+// Close implements Sink.
+func (s *ShardedIDSSink) Close() error { return s.Flush() }
+
+// Result returns the deterministically merged alerts. Valid after
+// Flush.
+func (s *ShardedIDSSink) Result() []ids.Alert { return s.Alerts }
 
 // due reports whether a stream-time tick cadence has elapsed at t,
 // advancing the stored mark when it has. A zero or negative cadence
@@ -232,5 +314,19 @@ func NewLogSink(w *firewall.Writer) *LogSink { return &LogSink{W: w} }
 // Consume implements RecordSink.
 func (s *LogSink) Consume(r firewall.Record) error { return s.W.Write(r) }
 
-// Flush implements RecordSink.
+// ConsumeBatch implements BatchSink.
+func (s *LogSink) ConsumeBatch(recs []firewall.Record) error {
+	for i := range recs {
+		if err := s.W.Write(recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements RecordSink; draining the writer's buffer is
+// naturally idempotent.
 func (s *LogSink) Flush() error { return s.W.Flush() }
+
+// Close implements Sink.
+func (s *LogSink) Close() error { return s.W.Flush() }

@@ -21,11 +21,19 @@ func (s SliceSource) Emit(emit func(r firewall.Record) error) error {
 	return nil
 }
 
-// EmitBatch implements BatchSource by emitting subslices; no copying.
+// EmitBatch implements BatchSource. Each chunk is copied into a reused
+// scratch buffer before emission: the batch contract lets consumers
+// (filter stages) compact the slice in place, and the caller's backing
+// slice must not be mutated.
 func (s SliceSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error {
+	if len(s) == 0 {
+		return nil
+	}
+	buf := make([]firewall.Record, 0, min(batchSize, len(s)))
 	for start := 0; start < len(s); start += batchSize {
 		end := min(start+batchSize, len(s))
-		if err := emit(s[start:end]); err != nil {
+		buf = append(buf[:0], s[start:end]...)
+		if err := emit(buf); err != nil {
 			return err
 		}
 	}

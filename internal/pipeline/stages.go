@@ -7,40 +7,74 @@ import (
 	"v6scan/internal/firewall"
 )
 
-// funcStage implements RecordSink with closures; all simple stages are
-// built on it.
-type funcStage struct {
-	consume func(r firewall.Record) error
-	flush   func() error
+// tapStage invokes a hook on every record before passing it downstream
+// — the hook analysis collectors attach with. The batch path forwards
+// each run untouched, preserving batch continuity.
+type tapStage struct {
+	fn   func(r firewall.Record)
+	next RecordSink
 }
 
-func (s *funcStage) Consume(r firewall.Record) error { return s.consume(r) }
-func (s *funcStage) Flush() error                    { return s.flush() }
-
-// Tap invokes fn on every record before passing it downstream —
-// the hook analysis collectors attach with.
+// Tap invokes fn on every record before passing it downstream.
 func Tap(fn func(r firewall.Record), next RecordSink) RecordSink {
-	return &funcStage{
-		consume: func(r firewall.Record) error {
-			fn(r)
-			return next.Consume(r)
-		},
-		flush: next.Flush,
+	return &tapStage{fn: fn, next: next}
+}
+
+// Consume implements RecordSink.
+func (s *tapStage) Consume(r firewall.Record) error {
+	s.fn(r)
+	return s.next.Consume(r)
+}
+
+// ConsumeBatch implements BatchSink.
+func (s *tapStage) ConsumeBatch(recs []firewall.Record) error {
+	for i := range recs {
+		s.fn(recs[i])
 	}
+	return consumeBatch(s.next, recs)
+}
+
+// Flush implements RecordSink.
+func (s *tapStage) Flush() error { return s.next.Flush() }
+
+// filterStage passes only records satisfying pred downstream. The
+// batch path compacts each run in place — survivors slide to the front
+// of the slice and flow on as one contiguous batch (the batch contract
+// permits consumers to mutate the slice within the call).
+type filterStage struct {
+	pred func(r firewall.Record) bool
+	next RecordSink
 }
 
 // Filter passes only records satisfying pred downstream.
 func Filter(pred func(r firewall.Record) bool, next RecordSink) RecordSink {
-	return &funcStage{
-		consume: func(r firewall.Record) error {
-			if !pred(r) {
-				return nil
-			}
-			return next.Consume(r)
-		},
-		flush: next.Flush,
-	}
+	return &filterStage{pred: pred, next: next}
 }
+
+// Consume implements RecordSink.
+func (s *filterStage) Consume(r firewall.Record) error {
+	if !s.pred(r) {
+		return nil
+	}
+	return s.next.Consume(r)
+}
+
+// ConsumeBatch implements BatchSink with in-place compaction.
+func (s *filterStage) ConsumeBatch(recs []firewall.Record) error {
+	kept := recs[:0]
+	for _, r := range recs {
+		if s.pred(r) {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return consumeBatch(s.next, kept)
+}
+
+// Flush implements RecordSink.
+func (s *filterStage) Flush() error { return s.next.Flush() }
 
 // Policy applies a firewall collection policy (the CDN's no-TCP/80,
 // no-TCP/443, no-ICMPv6 rule) as a filter stage.
@@ -48,30 +82,69 @@ func Policy(p firewall.CollectPolicy, next RecordSink) RecordSink {
 	return Filter(p.Admit, next)
 }
 
+// teeStage duplicates the stream into every sink.
+type teeStage struct {
+	sinks   []RecordSink
+	scratch []firewall.Record
+}
+
 // Tee duplicates the stream into every sink. Consume fans out in
 // argument order and stops at the first error; Flush always reaches
 // every sink — so each releases its resources — and returns the first
-// error encountered.
+// error encountered. (The builder's Tee is the pass-through variant:
+// side branches plus the continuing main chain.)
 func Tee(sinks ...RecordSink) RecordSink {
-	return &funcStage{
-		consume: func(r firewall.Record) error {
-			for _, s := range sinks {
-				if err := s.Consume(r); err != nil {
+	return &teeStage{sinks: sinks}
+}
+
+// Consume implements RecordSink.
+func (s *teeStage) Consume(r firewall.Record) error {
+	for _, sk := range s.sinks {
+		if err := sk.Consume(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConsumeBatch implements BatchSink, fanning each run out in argument
+// order. Downstream batch consumers may compact the slice in place, so
+// every batch-capable branch but the last receives a fresh copy from a
+// reused scratch buffer; the last branch gets the original, and
+// record-only branches are fed per record (they only ever see value
+// copies, so no slice copy is needed).
+func (s *teeStage) ConsumeBatch(recs []firewall.Record) error {
+	for i, sk := range s.sinks {
+		bs, batch := sk.(BatchSink)
+		if !batch {
+			for _, r := range recs {
+				if err := sk.Consume(r); err != nil {
 					return err
 				}
 			}
-			return nil
-		},
-		flush: func() error {
-			var first error
-			for _, s := range sinks {
-				if err := s.Flush(); err != nil && first == nil {
-					first = err
-				}
-			}
-			return first
-		},
+			continue
+		}
+		run := recs
+		if i < len(s.sinks)-1 {
+			s.scratch = append(s.scratch[:0], recs...)
+			run = s.scratch
+		}
+		if err := bs.ConsumeBatch(run); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// Flush implements RecordSink.
+func (s *teeStage) Flush() error {
+	var first error
+	for _, sk := range s.sinks {
+		if err := sk.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Counter counts records passing through, for the pipeline statistics
@@ -130,6 +203,26 @@ func (d *DaySort) Consume(r firewall.Record) error {
 	return nil
 }
 
+// ConsumeBatch implements BatchSink: runs between day boundaries are
+// appended to the day buffer in one copy, and each completed day
+// drains downstream exactly where the record path would drain it.
+func (d *DaySort) ConsumeBatch(recs []firewall.Record) error {
+	start := 0
+	for i := range recs {
+		day := recs[i].Time.UTC().Truncate(24 * time.Hour)
+		if !d.day.IsZero() && day.After(d.day) {
+			d.buf = append(d.buf, recs[start:i]...)
+			start = i
+			if err := d.emit(); err != nil {
+				return err
+			}
+		}
+		d.day = day
+	}
+	d.buf = append(d.buf, recs[start:]...)
+	return nil
+}
+
 // Flush drains the buffered day downstream.
 func (d *DaySort) Flush() error {
 	if err := d.emit(); err != nil {
@@ -165,6 +258,21 @@ func NewArtifactStage(f *firewall.ArtifactFilter, next RecordSink) *ArtifactStag
 func (a *ArtifactStage) Consume(r firewall.Record) error {
 	if out := a.f.Push(r); len(out) > 0 {
 		return consumeBatch(a.next, out)
+	}
+	return nil
+}
+
+// ConsumeBatch implements BatchSink. The filter buffers per day
+// internally, so the batch path's contribution is on the output side:
+// each completed day's survivors (a fresh slice the filter hands over)
+// flow downstream as one batch, keeping the chain batch-to-batch.
+func (a *ArtifactStage) ConsumeBatch(recs []firewall.Record) error {
+	for i := range recs {
+		if out := a.f.Push(recs[i]); len(out) > 0 {
+			if err := consumeBatch(a.next, out); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,36 +89,6 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Detector.WeekEpoch = cfg.Census.Start
 	}
 
-	// Terminal sink: plain or sharded detector.
-	var (
-		det     *core.Detector
-		sharded *core.ShardedDetector
-		detSink pipeline.RecordSink
-	)
-	if cfg.Shards > 1 {
-		sharded = core.NewShardedDetector(cfg.Detector, cfg.Shards)
-		detSink = pipeline.NewShardedSink(sharded)
-	} else {
-		det = core.NewDetector(cfg.Detector)
-		detSink = pipeline.NewDetectorSink(det)
-	}
-
-	// Assemble the chain back to front: artifact filter → detected
-	// counter (+ filtered tap) → detector; day sorter → filter; policy
-	// → sorter; generated counter (+ raw tap) → policy.
-	filter := firewall.NewArtifactFilter()
-	var afterFilter pipeline.RecordSink = detSink
-	if cfg.FilteredSink != nil {
-		afterFilter = pipeline.Tee(cfg.FilteredSink, afterFilter)
-	}
-	detected := pipeline.NewCounter(afterFilter)
-	logged := pipeline.NewCounter(pipeline.NewDaySort(pipeline.NewArtifactStage(filter, detected)))
-	var head pipeline.RecordSink = pipeline.Policy(firewall.DefaultCollectPolicy(), logged)
-	if cfg.RawSink != nil {
-		head = pipeline.Tee(cfg.RawSink, head)
-	}
-	generated := pipeline.NewCounter(head)
-
 	src := pipeline.SourceFunc(func(emit func(firewall.Record) error) error {
 		var emitErr error
 		collect := func(r firewall.Record) {
@@ -135,11 +106,22 @@ func Run(cfg Config) (*Result, error) {
 		return nil
 	})
 
-	if err := pipeline.New(src, generated).Run(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	// The paper's chain, left to right: generated counter (+ raw tap)
+	// → collection policy → logged counter → day sorter → artifact
+	// filter → detected counter (+ filtered tap) → detector.
+	filter := firewall.NewArtifactFilter()
+	var generated, logged, detected *pipeline.Counter
+	b := pipeline.From(src).Counter(&generated)
+	if cfg.RawSink != nil {
+		b.Tee(cfg.RawSink)
 	}
-	if sharded != nil {
-		det = sharded.Merged()
+	b.Policy(firewall.DefaultCollectPolicy()).Counter(&logged).DaySort().Artifact(filter).Counter(&detected)
+	if cfg.FilteredSink != nil {
+		b.Tee(cfg.FilteredSink)
+	}
+	det, err := b.Detect(context.Background(), cfg.Detector, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 
 	return &Result{

@@ -8,7 +8,8 @@
 //   - the streaming pipeline that every consumer plugs into — sources
 //     (record slices, binary logs, pcap captures), stages (collection
 //     policy, day sorter, artifact filter, taps, tees) and terminal
-//     sinks, all behind one RecordSink interface: NewPipeline and the
+//     sinks, all behind one RecordSink interface, assembled left to
+//     right with the fluent builder: From / Chain and the
 //     New*Source / New*Sink constructors;
 //   - scan detection with multi-level source aggregation (the paper's
 //     central methodological contribution): NewDetector / Detector,
@@ -27,21 +28,53 @@
 //   - analysis builders that regenerate every table and figure of the
 //     paper: the Build* functions.
 //
-// Quickstart — compose a pipeline from a record source through the
-// standard filter stages into a sharded detector:
+// Quickstart — compose the paper's processing chain left to right with
+// the fluent builder and terminate it in a sharded detector:
 //
-//	det := v6scan.NewShardedDetector(v6scan.DefaultDetectorConfig(), 8)
-//	p := v6scan.NewPipeline(v6scan.NewLogSource(f),
-//	    v6scan.PolicyStage(v6scan.DefaultCollectPolicy(),
-//	        v6scan.NewArtifactStage(v6scan.NewArtifactFilter(),
-//	            v6scan.NewShardedSink(det))))
-//	if err := p.Run(); err != nil { ... }
+//	det, err := v6scan.From(v6scan.NewLogSource(f)).
+//	    Policy(v6scan.DefaultCollectPolicy()).
+//	    Artifact().
+//	    Detect(ctx, v6scan.DefaultDetectorConfig(), 8)
+//	if err != nil { ... }
 //	for _, scan := range det.Scans(v6scan.Agg64) {
 //	    fmt.Println(scan.Source, scan.Packets, scan.Dsts)
 //	}
 //
-// A plain Detector fed record by record (Process / Finish / Scans)
-// remains fully supported for single-goroutine use.
+// Every built-in stage is batch-native, so a fully filtered pipeline
+// from a batching source (log, pcap, slice) into a batch-consuming
+// terminal streams batch-to-batch end to end; Pipeline.Batched reports
+// whether the fast path engaged. Arbitrary terminals plug in through
+// RunInto, which owns the sink lifecycle (Flush to finalize, Close to
+// release, typed Result accessors):
+//
+//	sink := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, 8))
+//	sink.TickEvery = time.Minute
+//	err := v6scan.From(src).Artifact().RunInto(ctx, sink)
+//	alerts := sink.Result()
+//
+// # Migrating from the nested constructors
+//
+// The pre-builder API composed chains inside-out; each nested
+// constructor maps to one left-to-right builder call:
+//
+//	NewPipeline(src, sink).Run()            → From(src).RunInto(ctx, sink)
+//	PolicyStage(p, next)                    → .Policy(p)
+//	FilterStage(pred, next)                 → .Filter(pred)
+//	TapStage(fn, next)                      → .Tap(fn)
+//	NewPipelineCounter(next)                → .Counter(&c)
+//	NewDaySortStage(next)                   → .DaySort()
+//	NewArtifactStage(f, next)               → .Artifact(f)   (or .Artifact())
+//	TeeStage(a, b)                          → .Tee(a) continuing into b,
+//	                                          or Chain().…​.Into(sink) for
+//	                                          a source-less stage chain
+//	NewShardedSink(NewShardedDetector(c,n)) → .Detect(ctx, c, n)
+//	NewIDSSink(NewIDS(c)) / sharded         → .IDS(ctx, c, n)
+//	NewMAWISink(NewMAWIDetector(c))         → .MAWI(ctx, c)
+//
+// The old constructors remain as thin deprecated wrappers, so existing
+// callers keep compiling. A plain Detector fed record by record
+// (Process / Finish / Scans) also remains fully supported for
+// single-goroutine use.
 package v6scan
 
 import (
@@ -158,14 +191,15 @@ func WriteLog(w io.Writer) *LogWriter { return firewall.NewWriter(w) }
 
 // RecordsFromPcap decodes a classic pcap stream (Ethernet or raw IPv6
 // link types) into records, skipping undecodable packets. The second
-// return value reports how many packets were skipped. Streaming
-// consumers can use NewPcapSource directly instead of materializing
-// the slice.
+// return value reports how many packets were skipped. Decoding rides
+// the chunked EmitBatch path (one append per chunk instead of one
+// callback per record); streaming consumers can use NewPcapSource
+// directly instead of materializing the slice.
 func RecordsFromPcap(r io.Reader) ([]Record, int, error) {
 	src := pipeline.NewPcapSource(r)
 	var out []Record
-	err := src.Emit(func(rec Record) error {
-		out = append(out, rec)
+	err := src.EmitBatch(pipeline.DefaultBatchSize, func(recs []Record) error {
+		out = append(out, recs...)
 		return nil
 	})
 	return out, src.Skipped(), err
@@ -174,6 +208,9 @@ func RecordsFromPcap(r io.Reader) ([]Record, int, error) {
 // Pipeline types: the composable streaming architecture every record
 // consumer plugs into (see internal/pipeline).
 type (
+	// Builder assembles a pipeline fluently, left to right; see From
+	// and Chain.
+	Builder = pipeline.Builder
 	// Pipeline couples a record source to a sink chain.
 	Pipeline = pipeline.Pipeline
 	// RecordSink is the one interface every stage and terminal
@@ -182,6 +219,10 @@ type (
 	// BatchSink marks sinks with a fast batch path (the sharded
 	// detector).
 	BatchSink = pipeline.BatchSink
+	// TerminalSink is the unified terminal lifecycle every built-in
+	// sink implements: Flush finalizes exactly once, Close releases
+	// idempotently, typed Result accessors read the outcome.
+	TerminalSink = pipeline.Sink
 	// RecordSource produces a time-ordered record stream.
 	RecordSource = pipeline.Source
 	// RecordBatchSource produces the stream in chunked batches; when a
@@ -222,7 +263,23 @@ type (
 	ShardedDetector = core.ShardedDetector
 )
 
+// From starts a fluent pipeline builder reading from src — the
+// entry point of the public pipeline API. Stages are appended left to
+// right (Policy, DaySort, Artifact, Tap, Filter, Counter, Tee) and the
+// chain is terminated by RunInto or one of the typed terminal helpers
+// (Detect, IDS, MAWI).
+func From(src RecordSource) *Builder { return pipeline.From(src) }
+
+// Chain starts a source-less stage chain terminated with Into — for
+// composing the sink side of a pipeline (simulation taps, Tee
+// branches) with the same left-to-right syntax.
+func Chain() *Builder { return pipeline.Chain() }
+
 // NewPipeline returns a pipeline streaming src into sink.
+//
+// Deprecated: compose with From(src) and terminate with RunInto (or
+// Detect / IDS / MAWI), which also verifies batch continuity and owns
+// the sink lifecycle.
 func NewPipeline(src RecordSource, sink RecordSink) *Pipeline { return pipeline.New(src, sink) }
 
 // NewShardedDetector returns a scan detector partitioning session
@@ -237,15 +294,32 @@ func NewLogSource(r io.Reader) *LogSource      { return pipeline.NewLogSource(r)
 func NewPcapSource(r io.Reader) *PcapSource    { return pipeline.NewPcapSource(r) }
 func NewSliceSource(recs []Record) SliceSource { return SliceSource(recs) }
 
-// Pipeline stage constructors.
+// Nested stage constructors, superseded by the builder (see the
+// package-doc migration table). Each remains a thin wrapper over the
+// same stage the builder emits.
+
+// Deprecated: use From(...).Tap(fn) or Chain().Tap(fn).Into(next).
 func TapStage(fn func(Record), next RecordSink) RecordSink { return pipeline.Tap(fn, next) }
+
+// Deprecated: use From(...).Filter(pred) or Chain().Filter(pred).Into(next).
 func FilterStage(pred func(Record) bool, next RecordSink) RecordSink {
 	return pipeline.Filter(pred, next)
 }
+
+// Deprecated: use From(...).Policy(p) or Chain().Policy(p).Into(next).
 func PolicyStage(p CollectPolicy, next RecordSink) RecordSink { return pipeline.Policy(p, next) }
-func TeeStage(sinks ...RecordSink) RecordSink                 { return pipeline.Tee(sinks...) }
-func NewPipelineCounter(next RecordSink) *PipelineCounter     { return pipeline.NewCounter(next) }
-func NewDaySortStage(next RecordSink) *DaySortStage           { return pipeline.NewDaySort(next) }
+
+// Deprecated: use From(...).Tee(branches...) to fan out mid-chain; a
+// bare multi-sink terminal is Tee's builder-free niche.
+func TeeStage(sinks ...RecordSink) RecordSink { return pipeline.Tee(sinks...) }
+
+// Deprecated: use From(...).Counter(&c) or Chain().Counter(&c).Into(next).
+func NewPipelineCounter(next RecordSink) *PipelineCounter { return pipeline.NewCounter(next) }
+
+// Deprecated: use From(...).DaySort() or Chain().DaySort().Into(next).
+func NewDaySortStage(next RecordSink) *DaySortStage { return pipeline.NewDaySort(next) }
+
+// Deprecated: use From(...).Artifact(f) or Chain().Artifact(f).Into(next).
 func NewArtifactStage(f *ArtifactFilter, next RecordSink) *ArtifactStage {
 	return pipeline.NewArtifactStage(f, next)
 }

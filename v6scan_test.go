@@ -2,6 +2,7 @@ package v6scan
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -54,6 +55,57 @@ func TestFacadeEndToEnd(t *testing.T) {
 	got, err := lr.Next()
 	if err != nil || got != recs[0] {
 		t.Fatalf("log round trip: %+v, %v", got, err)
+	}
+}
+
+// TestFacadeBuilderBatchEndToEnd is the acceptance check for the
+// fluent public API: a policy+artifact-filtered pipeline from a binary
+// LogSource into the sharded detector stays batch-to-batch
+// (Pipeline.Batched reports true) and detects the same scan the
+// record-fed facade detector does.
+func TestFacadeBuilderBatchEndToEnd(t *testing.T) {
+	ts := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	src := netaddr6.MustAddr("2001:db8:bad::1")
+	var buf bytes.Buffer
+	w := WriteLog(&buf)
+	for i := 0; i < 200; i++ {
+		r := Record{
+			Time: ts, Src: src,
+			Dst:   netaddr6.WithIID(netaddr6.MustAddr("2001:db8:f::"), uint64(i+1)),
+			Proto: layers.ProtoTCP, DstPort: 22, Length: 60,
+		}
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+		ts = ts.Add(time.Second)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	det := NewShardedDetector(DefaultDetectorConfig(), 4)
+	sink := NewShardedSink(det)
+	var counted *PipelineCounter
+	p := From(NewLogSource(&buf)).
+		Policy(DefaultCollectPolicy()).
+		Artifact().
+		Counter(&counted).
+		Build(sink)
+	if !p.Batched() {
+		t.Fatal("filtered log→sharded pipeline must be batch-to-batch")
+	}
+	if err := p.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if counted.Count() != 200 {
+		t.Fatalf("counted %d records, want 200", counted.Count())
+	}
+	scans := sink.Result().Scans(Agg64)
+	if len(scans) != 1 || scans[0].Dsts != 200 {
+		t.Fatalf("scans: %+v", scans)
 	}
 }
 
