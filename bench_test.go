@@ -9,6 +9,7 @@
 package v6scan
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -17,6 +18,7 @@ import (
 
 	"v6scan/internal/artifacts"
 	"v6scan/internal/core"
+	"v6scan/internal/dispatch"
 	"v6scan/internal/entropy"
 	"v6scan/internal/layers"
 	"v6scan/internal/mawi"
@@ -370,6 +372,7 @@ func benchmarkDetectorSharded(b *testing.B, shards int) {
 	allowParallelism(b, shards+1)
 	recs := benchRecords(100_000)
 	const batch = 8192
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		det := core.NewShardedDetector(core.DefaultConfig(), shards)
@@ -392,6 +395,54 @@ func benchmarkDetectorSharded(b *testing.B, shards int) {
 func BenchmarkDetectorSharded1(b *testing.B) { benchmarkDetectorSharded(b, 1) }
 func BenchmarkDetectorSharded4(b *testing.B) { benchmarkDetectorSharded(b, 4) }
 func BenchmarkDetectorSharded8(b *testing.B) { benchmarkDetectorSharded(b, 8) }
+
+// BenchmarkShardDispatch isolates the shared dispatcher from the
+// detector/IDS work it normally feeds: workers only count records, so
+// ns/op and allocs/op measure partitioning, channel traffic, and the
+// pooled batch arena. Steady-state dispatch must stay allocation-flat
+// (near-constant allocs per run regardless of record count).
+func BenchmarkShardDispatch(b *testing.B) {
+	recs := benchRecords(100_000)
+	const batch = 8192
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			allowParallelism(b, shards+1)
+			counts := make([]uint64, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range counts {
+					counts[j] = 0
+				}
+				d := dispatch.New(dispatch.Config{Shards: shards, Level: netaddr6.Agg48},
+					func(shard int, rs []Record, mark time.Time) error {
+						counts[shard] += uint64(len(rs))
+						return nil
+					})
+				for j := 0; j < len(recs); j += batch {
+					end := j + batch
+					if end > len(recs) {
+						end = len(recs)
+					}
+					if err := d.ProcessBatch(recs[j:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+				total := uint64(0)
+				for _, c := range counts {
+					total += c
+				}
+				if total != uint64(len(recs)) {
+					b.Fatalf("delivered %d records, want %d", total, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs)), "records/op")
+		})
+	}
+}
 
 // allowParallelism lifts GOMAXPROCS to n for one benchmark.
 // Containerized CI often misreports NumCPU (this repo's sandbox shows
@@ -563,6 +614,7 @@ func BenchmarkEndToEndFilteredPipeline(b *testing.B) {
 
 	run := func(b *testing.B, src RecordSource, wantBatched bool) {
 		b.Helper()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sink := NewShardedSink(NewShardedDetector(DefaultDetectorConfig(), 8))
 			p := From(src).
@@ -649,6 +701,7 @@ func benchmarkIDSSharded(b *testing.B, shards int) {
 	allowParallelism(b, shards+1)
 	recs := benchRecordsIDS(100_000)
 	const batch = 10_000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := NewShardedIDS(DefaultIDSConfig(), shards)

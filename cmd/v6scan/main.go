@@ -166,8 +166,9 @@ func runIDS(src v6scan.RecordSource, det v6scan.DetectorConfig, shards int, filt
 
 // openSource returns a pipeline source for the input path: a streaming
 // log reader, or a pcap decode materialized and sorted (detection
-// requires time order; captures normally are ordered, but sort
-// defensively).
+// requires time order; captures normally are ordered, so the
+// defensive sort is the run-aware one — a single linear scan when the
+// capture is in order, bounded run merges when it is not).
 func openSource(path string) (v6scan.RecordSource, error) {
 	var r io.Reader
 	if path == "-" {
@@ -187,7 +188,7 @@ func openSource(path string) (v6scan.RecordSource, error) {
 		if skipped > 0 {
 			fmt.Fprintf(os.Stderr, "skipped %d undecodable packets\n", skipped)
 		}
-		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+		v6scan.SortRecordsByTime(recs)
 		return v6scan.NewSliceSource(recs), nil
 	}
 	return v6scan.NewLogSource(r), nil

@@ -105,6 +105,13 @@ func (s *Scan) NumPorts() int { return len(s.Ports) }
 // sessions are short-lived background sources that close below the
 // threshold, and the fast path spares three map allocations per
 // session.
+//
+// Sessions themselves are slab-allocated per level and recycled
+// through a free list when they close (newSession/recycle below): the
+// detector's steady-state ingest otherwise allocates one session per
+// source per level, which dominates the allocation rate on
+// million-record days. A recycled session keeps its emptied maps, so
+// the "materialized" state is len(map) > 0, not map != nil.
 type session struct {
 	start, last time.Time
 	packets     uint64
@@ -122,59 +129,77 @@ type session struct {
 	lenCounter entropy.Counter
 }
 
+// inlineMapHint pre-sizes session maps at materialization. A session
+// that outgrows the inline single-value fast path usually keeps
+// accumulating (coarse-level aggregates see tens of distinct values
+// quickly), and Go map growth allocates on every doubling: a 16-entry
+// hint starts at enough buckets to absorb ~26 entries growth-free for
+// a few hundred extra bytes on the (rare) two-entry sessions.
+const inlineMapHint = 16
+
 func (s *session) addDst(d netaddr6.U128) {
-	if s.dsts == nil {
+	if len(s.dsts) == 0 {
 		if d == s.firstDst {
 			return
 		}
-		s.dsts = map[netaddr6.U128]struct{}{s.firstDst: {}, d: {}}
-		return
+		if s.dsts == nil {
+			s.dsts = make(map[netaddr6.U128]struct{}, inlineMapHint)
+		}
+		s.dsts[s.firstDst] = struct{}{}
 	}
 	s.dsts[d] = struct{}{}
 }
 
 func (s *session) addSrc(a netaddr6.U128) {
-	if s.srcs == nil {
+	if len(s.srcs) == 0 {
 		if a == s.firstSrc {
 			return
 		}
-		s.srcs = map[netaddr6.U128]struct{}{s.firstSrc: {}, a: {}}
-		return
+		if s.srcs == nil {
+			s.srcs = make(map[netaddr6.U128]struct{}, inlineMapHint)
+		}
+		s.srcs[s.firstSrc] = struct{}{}
 	}
 	s.srcs[a] = struct{}{}
 }
 
 func (s *session) addSvc(svc firewall.Service) {
-	if s.ports == nil {
+	if len(s.ports) == 0 {
 		if svc == s.firstSvc {
 			s.svcN++
 			return
 		}
-		s.ports = map[firewall.Service]uint64{s.firstSvc: s.svcN}
+		if s.ports == nil {
+			s.ports = make(map[firewall.Service]uint64, inlineMapHint)
+		}
+		s.ports[s.firstSvc] = s.svcN
 	}
 	s.ports[svc]++
 }
 
 func (s *session) addWeek(w int) {
-	if s.weeks == nil {
+	if len(s.weeks) == 0 {
 		if int32(w) == s.firstWeek {
 			s.weekN++
 			return
 		}
-		s.weeks = map[int]uint64{int(s.firstWeek): s.weekN}
+		if s.weeks == nil {
+			s.weeks = make(map[int]uint64, inlineMapHint)
+		}
+		s.weeks[int(s.firstWeek)] = s.weekN
 	}
 	s.weeks[w]++
 }
 
 func (s *session) numDsts() int {
-	if s.dsts == nil {
+	if len(s.dsts) == 0 {
 		return 1
 	}
 	return len(s.dsts)
 }
 
 func (s *session) numSrcs() int {
-	if s.srcs == nil {
+	if len(s.srcs) == 0 {
 		return 1
 	}
 	return len(s.srcs)
@@ -189,6 +214,45 @@ type levelState struct {
 	// dropped counts sessions that closed below the destination
 	// threshold (useful for diagnostics and the Figure 1 discussion).
 	dropped uint64
+	// slab and free implement the per-level session arena: new
+	// sessions are carved from slab chunks and closed sessions return
+	// through free with their maps emptied for reuse, keeping
+	// steady-state ingest free of per-session allocations.
+	slab []session
+	free []*session
+}
+
+// sessionSlabSize is the slab chunk granularity — large enough to
+// amortize chunk allocation to noise, small enough that a mostly-idle
+// level does not strand much memory.
+const sessionSlabSize = 512
+
+// newSession returns a zeroed session from the free list or the slab.
+func (ls *levelState) newSession() *session {
+	if n := len(ls.free) - 1; n >= 0 {
+		s := ls.free[n]
+		ls.free = ls.free[:n]
+		return s
+	}
+	if len(ls.slab) == 0 {
+		ls.slab = make([]session, sessionSlabSize)
+	}
+	s := &ls.slab[0]
+	ls.slab = ls.slab[1:]
+	return s
+}
+
+// recycle resets a closed session and returns it to the free list. Its
+// maps are emptied and retained (transferred maps must be nil'd by the
+// caller first), so reopened sessions skip re-materialization.
+func (ls *levelState) recycle(s *session) {
+	clear(s.dsts)
+	clear(s.srcs)
+	clear(s.ports)
+	clear(s.weeks)
+	s.lenCounter.Reset()
+	*s = session{dsts: s.dsts, srcs: s.srcs, ports: s.ports, weeks: s.weeks, lenCounter: s.lenCounter}
+	ls.free = append(ls.free, s)
 }
 
 // Detector runs the scan definition at several aggregation levels in a
@@ -251,10 +315,10 @@ func (d *Detector) Process(r firewall.Record) error {
 			s = nil
 		}
 		if s == nil {
-			s = &session{
-				start: r.Time, last: r.Time, packets: 1,
-				firstDst: dst, firstSrc: src, firstSvc: svc, svcN: 1,
-			}
+			s = ls.newSession()
+			s.start, s.last, s.packets = r.Time, r.Time, 1
+			s.firstDst, s.firstSrc = dst, src
+			s.firstSvc, s.svcN = svc, 1
 			if weekly {
 				s.firstWeek, s.weekN = int32(week), 1
 			}
@@ -302,15 +366,27 @@ func (d *Detector) closeSession(ls *levelState, key netaddr6.U128, s *session) {
 	delete(ls.sessions, key)
 	if s.numDsts() < d.cfg.MinDsts {
 		ls.dropped++
+		ls.recycle(s)
 		return
 	}
-	// Qualifying sessions are the rare case; materialize any inline
-	// fast-path state into the maps the Scan exposes.
-	if s.ports == nil {
-		s.ports = map[firewall.Service]uint64{s.firstSvc: s.svcN}
+	// Qualifying sessions are the rare case. The Scan takes ownership
+	// of the materialized ports/weeks maps (nil'd here so recycle does
+	// not hand them to the next session); inline fast-path state gets
+	// fresh maps.
+	ports := s.ports
+	if len(ports) == 0 {
+		ports = map[firewall.Service]uint64{s.firstSvc: s.svcN}
+	} else {
+		s.ports = nil
 	}
-	if s.weeks == nil && s.weekN > 0 {
-		s.weeks = map[int]uint64{int(s.firstWeek): s.weekN}
+	weeks := s.weeks
+	if len(weeks) == 0 {
+		weeks = nil
+		if s.weekN > 0 {
+			weeks = map[int]uint64{int(s.firstWeek): s.weekN}
+		}
+	} else {
+		s.weeks = nil
 	}
 	scan := Scan{
 		Source:      netip.PrefixFrom(key.ToAddr(), int(ls.level)),
@@ -320,13 +396,13 @@ func (d *Detector) closeSession(ls *levelState, key netaddr6.U128, s *session) {
 		Packets:     s.packets,
 		Dsts:        s.numDsts(),
 		SrcAddrs:    s.numSrcs(),
-		Ports:       s.ports,
-		WeekPackets: s.weeks,
+		Ports:       ports,
+		WeekPackets: weeks,
 		LenEntropy:  s.lenCounter.Normalized(),
 	}
 	if d.cfg.TrackDsts {
 		scan.DstAddrs = make([]netip.Addr, 0, s.numDsts())
-		if s.dsts == nil {
+		if len(s.dsts) == 0 {
 			scan.DstAddrs = append(scan.DstAddrs, s.firstDst.ToAddr())
 		} else {
 			for a := range s.dsts {
@@ -338,6 +414,7 @@ func (d *Detector) closeSession(ls *levelState, key netaddr6.U128, s *session) {
 		})
 	}
 	ls.scans = append(ls.scans, scan)
+	ls.recycle(s)
 }
 
 // Scans returns the detected scans at one aggregation level, ordered by

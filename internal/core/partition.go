@@ -1,39 +1,26 @@
 package core
 
 import (
-	"math/bits"
 	"net/netip"
 
+	"v6scan/internal/dispatch"
 	"v6scan/internal/netaddr6"
 )
 
 // CoarsestLevel returns the coarsest (smallest prefix length) of the
-// given aggregation levels — the partition level for sharded consumers:
-// every finer aggregate of a source nests inside its coarsest prefix,
-// so state at every level lands in exactly one shard.
+// given aggregation levels — the partition level for sharded consumers.
+// The canonical implementation lives in the dispatch package (which
+// owns the sharding invariant); this wrapper keeps the established
+// call sites working.
 func CoarsestLevel(levels []netaddr6.AggLevel) netaddr6.AggLevel {
-	coarsest := levels[0]
-	for _, l := range levels {
-		if l < coarsest {
-			coarsest = l
-		}
-	}
-	return coarsest
+	return dispatch.CoarsestLevel(levels)
 }
 
 // PartitionShard routes a source address to one of n shards by its
 // prefix at the partition level. Both the sharded detector and the
-// sharded IDS engine use it, so a record always lands on the same shard
-// index regardless of which consumer processes it.
+// sharded IDS engine use it (via dispatch.Dispatcher), so a record
+// always lands on the same shard index regardless of which consumer
+// processes it. Canonical implementation: dispatch.Partition.
 func PartitionShard(src netip.Addr, level netaddr6.AggLevel, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	key := netaddr6.ToU128(src).Mask(int(level))
-	// splitmix-style finalizer over the masked 128-bit key.
-	x := key.Hi ^ bits.RotateLeft64(key.Lo, 31)
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	return int(x % uint64(n))
+	return dispatch.Partition(src, level, n)
 }

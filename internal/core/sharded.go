@@ -1,12 +1,9 @@
 package core
 
 import (
-	"fmt"
-	"net/netip"
-	"sync"
-	"sync/atomic"
 	"time"
 
+	"v6scan/internal/dispatch"
 	"v6scan/internal/firewall"
 	"v6scan/internal/netaddr6"
 )
@@ -18,42 +15,20 @@ import (
 // exactly one shard and the combined output is identical to a single
 // Detector's, independent of shard count (see TestShardedParity).
 //
-// Each shard owns a private Detector and consumes batches from a
-// channel; ProcessBatch partitions input while workers drain previous
-// batches, so multi-level aggregation overlaps across sources instead
-// of running serially per record. Finish drains the workers and merges
-// per-level results deterministically (scans ordered by start time,
-// then source).
+// Each shard owns a private Detector; partitioning, staging, the
+// worker goroutines and their pooled batch buffers are the shared
+// dispatch.Dispatcher's (see that package's doc for the ownership
+// model). Finish drains the workers and merges per-level results
+// deterministically (scans ordered by start time, then source);
+// detector workers can fail on time-order violations, and the
+// dispatcher surfaces the first such error at the next call.
 type ShardedDetector struct {
 	cfg      Config
-	shardLvl netaddr6.AggLevel
 	shards   []*Detector
-	chans    []chan shardMsg
-	// err holds the first worker error; workers race to set it and
-	// the dispatching goroutine polls it so failures surface at the
-	// next Process/ProcessBatch call rather than only at Finish.
-	err atomic.Pointer[error]
-	wg  sync.WaitGroup
-
-	// buf stages single-record Process calls until batchSize is
-	// reached; ProcessBatch bypasses it.
-	buf       []firewall.Record
-	batchSize int
-	finished  bool
-	merged    *Detector
+	disp     *dispatch.Dispatcher
+	finished bool
+	merged   *Detector
 }
-
-// shardMsg is one unit of work for a shard: a run of records and/or a
-// timeout-eviction horizon.
-type shardMsg struct {
-	recs    []firewall.Record
-	advance time.Time
-}
-
-// defaultShardBatch is the staging size for the single-record Process
-// path; large enough to amortize channel traffic, small enough that
-// streaming callers see timely progress.
-const defaultShardBatch = 2048
 
 // NewShardedDetector returns a detector running the configuration's
 // aggregation levels across n parallel shards. n < 1 is treated as 1;
@@ -68,26 +43,31 @@ func NewShardedDetector(cfg Config, n int) *ShardedDetector {
 	probe := NewDetector(cfg)
 	cfg = probe.Config()
 
-	// Shard by the coarsest level: the smallest prefix length contains
-	// every finer aggregate of the same source.
-	coarsest := CoarsestLevel(cfg.Levels)
-	sd := &ShardedDetector{
-		cfg:       cfg,
-		shardLvl:  coarsest,
-		shards:    make([]*Detector, n),
-		chans:     make([]chan shardMsg, n),
-		batchSize: defaultShardBatch,
-	}
+	sd := &ShardedDetector{cfg: cfg, shards: make([]*Detector, n)}
 	for i := range sd.shards {
 		if i == 0 {
 			sd.shards[i] = probe
 		} else {
 			sd.shards[i] = NewDetector(cfg)
 		}
-		sd.chans[i] = make(chan shardMsg, 4)
-		sd.wg.Add(1)
-		go sd.worker(i)
 	}
+	// Shard by the coarsest level: the smallest prefix length contains
+	// every finer aggregate of the same source.
+	sd.disp = dispatch.New(dispatch.Config{
+		Shards: n,
+		Level:  CoarsestLevel(cfg.Levels),
+	}, func(shard int, recs []firewall.Record, mark time.Time) error {
+		det := sd.shards[shard]
+		if !mark.IsZero() {
+			det.Advance(mark)
+		}
+		for _, r := range recs {
+			if err := det.Process(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	return sd
 }
 
@@ -97,119 +77,35 @@ func (sd *ShardedDetector) Config() Config { return sd.cfg }
 // NumShards returns the worker count.
 func (sd *ShardedDetector) NumShards() int { return len(sd.shards) }
 
-func (sd *ShardedDetector) worker(i int) {
-	defer sd.wg.Done()
-	det := sd.shards[i]
-	failed := false
-	for msg := range sd.chans[i] {
-		if failed {
-			continue // drain after failure
-		}
-		if !msg.advance.IsZero() {
-			det.Advance(msg.advance)
-		}
-		for _, r := range msg.recs {
-			if err := det.Process(r); err != nil {
-				sd.err.CompareAndSwap(nil, &err)
-				failed = true
-				break
-			}
-		}
-	}
-}
-
-// shardOf routes a source address to its shard.
-func (sd *ShardedDetector) shardOf(src netip.Addr) int {
-	return PartitionShard(src, sd.shardLvl, len(sd.shards))
-}
-
 // Process ingests one record, staging it until a batch accumulates.
 // Records must be in non-decreasing time order, as for Detector.
 func (sd *ShardedDetector) Process(r firewall.Record) error {
-	sd.buf = append(sd.buf, r)
-	if len(sd.buf) >= sd.batchSize {
-		return sd.flushBuf()
-	}
-	return nil
+	return sd.disp.Process(r)
 }
 
 // ProcessBatch partitions a time-ordered run of records across the
 // shards and dispatches it. The slice is not retained.
 func (sd *ShardedDetector) ProcessBatch(recs []firewall.Record) error {
-	if len(sd.buf) > 0 {
-		if err := sd.flushBuf(); err != nil {
-			return err
-		}
-	}
-	return sd.dispatch(recs, time.Time{})
-}
-
-func (sd *ShardedDetector) flushBuf() error {
-	err := sd.dispatch(sd.buf, time.Time{})
-	sd.buf = sd.buf[:0]
-	return err
-}
-
-func (sd *ShardedDetector) dispatch(recs []firewall.Record, advance time.Time) error {
-	if sd.finished {
-		return fmt.Errorf("core: ShardedDetector used after Finish")
-	}
-	if err := sd.firstErr(); err != nil {
-		return err
-	}
-	if len(sd.shards) == 1 {
-		if len(recs) > 0 || !advance.IsZero() {
-			batch := make([]firewall.Record, len(recs))
-			copy(batch, recs)
-			sd.chans[0] <- shardMsg{recs: batch, advance: advance}
-		}
-		return nil
-	}
-	parts := make([][]firewall.Record, len(sd.shards))
-	sizeHint := len(recs)/len(sd.shards) + len(recs)/8 + 1
-	for _, r := range recs {
-		i := sd.shardOf(r.Src)
-		if parts[i] == nil {
-			parts[i] = make([]firewall.Record, 0, sizeHint)
-		}
-		parts[i] = append(parts[i], r)
-	}
-	for i, part := range parts {
-		if len(part) > 0 || !advance.IsZero() {
-			sd.chans[i] <- shardMsg{recs: part, advance: advance}
-		}
-	}
-	return nil
+	return sd.disp.ProcessBatch(recs)
 }
 
 // Advance closes every session idle past the timeout as of now, like
 // Detector.Advance. Pending staged records are dispatched first so
 // eviction sees them.
 func (sd *ShardedDetector) Advance(now time.Time) error {
-	if err := sd.flushBuf(); err != nil {
-		return err
-	}
-	return sd.dispatch(nil, now)
+	return sd.disp.Mark(now)
 }
 
 // Finish drains all shards, closes every open session, and merges the
 // per-shard results. It returns the first per-shard processing error,
-// if any. Call once after the final record; the scan accessors are
-// valid afterwards.
+// if any (repeat calls re-report it). Call once after the final
+// record; the scan accessors are valid afterwards.
 func (sd *ShardedDetector) Finish() error {
+	err := sd.disp.Close()
 	if sd.finished {
-		return sd.firstErr()
+		return err
 	}
-	// Dispatch any staged records. A worker error must not skip the
-	// shutdown below: the channels still have to close and the workers
-	// join (they drain remaining messages after a failure), or every
-	// failed run would leak its shard goroutines.
-	ferr := sd.flushBuf()
 	sd.finished = true
-	for _, ch := range sd.chans {
-		close(ch)
-	}
-	sd.wg.Wait()
 	for _, det := range sd.shards {
 		det.Finish()
 	}
@@ -224,17 +120,7 @@ func (sd *ShardedDetector) Finish() error {
 		}
 	}
 	sd.merged = merged
-	if err := sd.firstErr(); err != nil {
-		return err
-	}
-	return ferr
-}
-
-func (sd *ShardedDetector) firstErr() error {
-	if p := sd.err.Load(); p != nil {
-		return *p
-	}
-	return nil
+	return err
 }
 
 // Merged returns the combined detector view — the same object the

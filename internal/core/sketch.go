@@ -79,12 +79,11 @@ func (s *DstSketch) Estimate() uint64 {
 // MemoryBytes returns the sketch's register memory.
 func (s *DstSketch) MemoryBytes() int { return len(s.registers) }
 
-// Reset clears the sketch for reuse.
-func (s *DstSketch) Reset() {
-	for i := range s.registers {
-		s.registers[i] = 0
-	}
-}
+// Reset zeroes the registers, returning the sketch to its freshly
+// allocated state so callers can pool and reuse sketches (the IDS
+// engine's candidate arena does): a reset sketch is observationally
+// identical to a new one at the same precision.
+func (s *DstSketch) Reset() { clear(s.registers) }
 
 // hashAddr is a 64-bit mix of an IPv6 address (SplitMix64-style over
 // both halves) — fast, stateless, and adequate for cardinality

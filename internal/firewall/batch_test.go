@@ -1,0 +1,156 @@
+package firewall
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"v6scan/internal/layers"
+)
+
+// encodeRecords writes n sequential records and returns the log bytes
+// and the expected decode.
+func encodeRecords(t *testing.T, n int) ([]byte, []Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want []Record
+	for i := 0; i < n; i++ {
+		r := rec(t0.Add(time.Duration(i)*time.Second), "2001:db8::1", "2001:db8:f::2", layers.ProtoTCP, uint16(i))
+		want = append(want, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+func TestNextBatchRoundTrip(t *testing.T) {
+	data, want := encodeRecords(t, 500)
+	for _, max := range []int{1, 7, 100, 500, 512} {
+		rd := NewReader(bytes.NewReader(data))
+		buf := make([]Record, 0, max)
+		var got []Record
+		for {
+			recs, err := rd.NextBatch(buf[:0], max)
+			got = append(got, recs...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("max=%d: %v", max, err)
+			}
+			if len(recs) != max {
+				t.Fatalf("max=%d: non-final batch of %d", max, len(recs))
+			}
+			buf = recs[:0]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("max=%d: decoded %d records, want %d", max, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("max=%d: record %d mismatch", max, i)
+			}
+		}
+	}
+}
+
+// TestNextBatchMatchesNext verifies bulk and single-record decoding
+// agree byte for byte over the same stream.
+func TestNextBatchMatchesNext(t *testing.T) {
+	data, _ := encodeRecords(t, 97)
+	single := NewReader(bytes.NewReader(data))
+	bulk := NewReader(bytes.NewReader(data))
+	got, err := bulk.NextBatch(nil, 1000)
+	if err != io.EOF {
+		t.Fatalf("NextBatch err = %v, want io.EOF with final records", err)
+	}
+	for i := 0; ; i++ {
+		r, err := single.Next()
+		if err == io.EOF {
+			if i != len(got) {
+				t.Fatalf("Next yielded %d records, NextBatch %d", i, len(got))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= len(got) || got[i] != r {
+			t.Fatalf("record %d differs between Next and NextBatch", i)
+		}
+	}
+}
+
+func TestNextBatchEmptyStream(t *testing.T) {
+	rd := NewReader(bytes.NewReader(nil))
+	recs, err := rd.NextBatch(nil, 16)
+	if err != io.EOF || len(recs) != 0 {
+		t.Fatalf("got %d records, err %v; want 0, io.EOF", len(recs), err)
+	}
+}
+
+func TestNextBatchTruncatedTail(t *testing.T) {
+	data, _ := encodeRecords(t, 10)
+	rd := NewReader(bytes.NewReader(data[:len(data)-5]))
+	recs, err := rd.NextBatch(nil, 16)
+	if !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("err = %v, want ErrShortRecord", err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("decoded %d complete records before the truncation, want 9", len(recs))
+	}
+}
+
+func TestNextBatchZeroMax(t *testing.T) {
+	data, _ := encodeRecords(t, 3)
+	rd := NewReader(bytes.NewReader(data))
+	if recs, err := rd.NextBatch(nil, 0); err != nil || len(recs) != 0 {
+		t.Fatalf("max=0: got %d records, err %v", len(recs), err)
+	}
+	// The stream must be untouched; a full batch reports nil (EOF
+	// surfaces on the following call).
+	recs, err := rd.NextBatch(nil, 3)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("after max=0: got %d records, err %v", len(recs), err)
+	}
+	if recs, err = rd.NextBatch(nil, 3); err != io.EOF || len(recs) != 0 {
+		t.Fatalf("at end: got %d records, err %v; want 0, io.EOF", len(recs), err)
+	}
+}
+
+// TestNextBatchNoAllocSteadyState pins the hot-path property the bulk
+// decoder exists for: with a caller-owned batch buffer of sufficient
+// capacity, steady-state decoding performs no allocations beyond the
+// reader's one-time bulk buffer.
+func TestNextBatchNoAllocSteadyState(t *testing.T) {
+	data, _ := encodeRecords(t, 256)
+	rd := NewReader(bytes.NewReader(data))
+	buf := make([]Record, 0, 64)
+	// Warm up: first call sizes the reader's internal bulk buffer.
+	if _, err := rd.NextBatch(buf[:0], 64); err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.NewReader(data)
+	allocs := testing.AllocsPerRun(20, func() {
+		src.Seek(0, io.SeekStart)
+		rd2 := rd // reuse the same reader's bulk buffer
+		rd2.r = src
+		for {
+			recs, err := rd2.NextBatch(buf[:0], 64)
+			_ = recs
+			if err != nil {
+				return
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state NextBatch allocated %.1f times per run", allocs)
+	}
+}

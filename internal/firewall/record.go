@@ -175,10 +175,14 @@ func (w *Writer) Flush() error {
 	return err
 }
 
-// Reader streams records from a binary log file.
+// Reader streams records from a binary log file, one at a time (Next)
+// or in bulk (NextBatch, the ingest hot path: one buffered read and a
+// tight decode loop per batch instead of one read syscall-ish hop per
+// record).
 type Reader struct {
-	r   io.Reader
-	buf [recordWireSize]byte
+	r    io.Reader
+	buf  [recordWireSize]byte
+	bulk []byte
 }
 
 // NewReader returns a log reader.
@@ -200,4 +204,47 @@ func (rd *Reader) Next() (Record, error) {
 		return Record{}, err
 	}
 	return r, nil
+}
+
+// NextBatch decodes up to max records in one bulk read, appending them
+// to dst (normally dst has len 0 and cap ≥ max, so the call does not
+// allocate). It returns the extended slice and one of:
+//
+//   - nil — max records were decoded and more may follow;
+//   - io.EOF — the stream ended cleanly; any final records are in the
+//     returned slice (len > len(dst) is possible alongside io.EOF);
+//   - another error — decoding stopped there (ErrShortRecord for a
+//     truncated trailing record; records decoded before the error are
+//     returned).
+func (rd *Reader) NextBatch(dst []Record, max int) ([]Record, error) {
+	if max <= 0 {
+		return dst, nil
+	}
+	need := max * recordWireSize
+	if cap(rd.bulk) < need {
+		rd.bulk = make([]byte, need)
+	}
+	buf := rd.bulk[:need]
+	n, err := io.ReadFull(rd.r, buf)
+	complete := n / recordWireSize
+	for i := 0; i < complete; i++ {
+		var r Record
+		// Length is fixed and pre-checked, so DecodeBinary cannot fail.
+		r.DecodeBinary(buf[i*recordWireSize : (i+1)*recordWireSize])
+		dst = append(dst, r)
+	}
+	switch err {
+	case nil:
+		return dst, nil
+	case io.EOF:
+		// Read nothing: clean end of stream.
+		return dst, io.EOF
+	case io.ErrUnexpectedEOF:
+		if rem := n % recordWireSize; rem != 0 {
+			return dst, fmt.Errorf("%w: trailing %d bytes", ErrShortRecord, rem)
+		}
+		return dst, io.EOF
+	default:
+		return dst, err
+	}
 }

@@ -132,22 +132,16 @@ func sortAlerts(alerts []Alert) {
 // candidate costs no sketch memory. HyperLogLog insertion is
 // idempotent per address, so the late-materialized sketch is
 // byte-identical to one fed every record.
+// Candidates are slab-allocated per level and recycled through a free
+// list on eviction (newCandidate/recycle below), with their sketches
+// reset and pooled alongside: steady-state ingest otherwise allocates
+// one candidate per source per level, which dominates the engine's
+// allocation rate on million-record days.
 type candidate struct {
 	firstDst    netaddr6.U128
 	sketch      *core.DstSketch
 	packets     uint64
 	first, last time.Time
-}
-
-func (c *candidate) addDst(d netaddr6.U128, precision uint8) {
-	if c.sketch == nil {
-		if d == c.firstDst {
-			return
-		}
-		c.sketch = core.NewDstSketch(precision)
-		c.sketch.AddU128(c.firstDst)
-	}
-	c.sketch.AddU128(d)
 }
 
 // estimate returns the candidate's destination cardinality: exactly 1
@@ -173,6 +167,63 @@ type level struct {
 	// possible candidate would not be idle yet: the common case for
 	// minute-cadence Ticks over an hour-scale timeout.
 	oldest time.Time
+	// slab, free and freeSketch implement the per-level candidate
+	// arena: new candidates are carved from slab chunks, evicted ones
+	// return through free, and their sketches are reset and pooled for
+	// the next candidate that needs one.
+	slab       []candidate
+	free       []*candidate
+	freeSketch []*core.DstSketch
+}
+
+// candidateSlabSize is the slab chunk granularity (see the detector's
+// sessionSlabSize for the trade-off).
+const candidateSlabSize = 512
+
+// newCandidate returns a zeroed candidate from the free list or slab.
+func (lv *level) newCandidate() *candidate {
+	if n := len(lv.free) - 1; n >= 0 {
+		c := lv.free[n]
+		lv.free = lv.free[:n]
+		return c
+	}
+	if len(lv.slab) == 0 {
+		lv.slab = make([]candidate, candidateSlabSize)
+	}
+	c := &lv.slab[0]
+	lv.slab = lv.slab[1:]
+	return c
+}
+
+// recycle resets an evicted candidate and returns it (and its sketch,
+// reset) to the level's pools. Callers must be done reading it.
+func (lv *level) recycle(c *candidate) {
+	if c.sketch != nil {
+		c.sketch.Reset()
+		lv.freeSketch = append(lv.freeSketch, c.sketch)
+	}
+	*c = candidate{}
+	lv.free = append(lv.free, c)
+}
+
+// observeDst records one destination for a candidate, materializing
+// the sketch (pooled when available) on the second distinct address.
+// HyperLogLog insertion is idempotent per address, so the
+// late-materialized sketch is byte-identical to one fed every record.
+func (lv *level) observeDst(c *candidate, d netaddr6.U128, precision uint8) {
+	if c.sketch == nil {
+		if d == c.firstDst {
+			return
+		}
+		if n := len(lv.freeSketch) - 1; n >= 0 {
+			c.sketch = lv.freeSketch[n]
+			lv.freeSketch = lv.freeSketch[:n]
+		} else {
+			c.sketch = core.NewDstSketch(precision)
+		}
+		c.sketch.AddU128(c.firstDst)
+	}
+	c.sketch.AddU128(d)
 }
 
 // Engine is the dynamic-aggregation IDS.
@@ -239,10 +290,11 @@ func (e *Engine) Process(r firewall.Record) {
 				e.dropped++
 				continue
 			}
-			c = &candidate{firstDst: dst, first: r.Time}
+			c = lv.newCandidate()
+			c.firstDst, c.first = dst, r.Time
 			lv.candidates[key] = c
 		} else {
-			c.addDst(dst, e.cfg.SketchPrecision)
+			lv.observeDst(c, dst, e.cfg.SketchPrecision)
 		}
 		c.packets++
 		c.last = r.Time
@@ -345,6 +397,8 @@ func (e *Engine) sweep(all bool) {
 			delete(lv.candidates, key)
 			if c.estimate() >= uint64(e.cfg.MinDsts) {
 				closed = append(closed, closedScan{key: key, c: c})
+			} else {
+				lv.recycle(c)
 			}
 		}
 		// Tighten the bound to the surviving minimum (zero when the
@@ -380,6 +434,11 @@ func (e *Engine) sweep(all bool) {
 				Last:          cs.c.last,
 				Escalated:     coveredDsts > 0 || lv.agg != e.levels[0].agg,
 			})
+		}
+		// Alerts hold copies of everything they need; the closed
+		// candidates (and their sketches) can re-enter the arena.
+		for _, cs := range closed {
+			lv.recycle(cs.c)
 		}
 	}
 	e.alerts = append(e.alerts, emitted...)

@@ -1,10 +1,10 @@
 package ids
 
 import (
-	"sync"
 	"time"
 
 	"v6scan/internal/core"
+	"v6scan/internal/dispatch"
 	"v6scan/internal/firewall"
 	"v6scan/internal/netaddr6"
 )
@@ -23,43 +23,25 @@ import (
 // sharded engine admits candidates (and so may emit alerts) a single
 // engine would have dropped.
 //
-// Each shard owns a private Engine and consumes batches from a
-// channel; ProcessBatch partitions input while workers drain previous
-// batches. Tick forwards the eviction horizon to every shard, carrying
-// the globally latest record time so per-shard eviction decisions
-// match the single-engine ones exactly. Flush drains the workers and
-// merges alerts deterministically; the engine is not reusable
-// afterwards.
+// Each shard owns a private Engine; partitioning, staging, the worker
+// goroutines and their pooled batch buffers are the shared
+// dispatch.Dispatcher's (IDS workers cannot fail, so the dispatcher's
+// error path stays unused). Tick forwards the eviction horizon to
+// every shard, carrying the globally latest record time so per-shard
+// eviction decisions match the single-engine ones exactly. Flush
+// drains the workers and merges alerts deterministically; the engine
+// is not reusable afterwards.
 type ShardedEngine struct {
-	cfg      Config
-	shardLvl netaddr6.AggLevel
-	shards   []*Engine
-	chans    []chan idsMsg
-	wg       sync.WaitGroup
+	cfg    Config
+	shards []*Engine
+	disp   *dispatch.Dispatcher
 
-	// buf stages single-record Process calls until batchSize is
-	// reached; ProcessBatch bypasses it.
-	buf       []firewall.Record
-	batchSize int
-	// lastSeen is the latest record timestamp dispatched; Tick
-	// forwards max(now, lastSeen) so a shard that saw only early
-	// records still evicts against the global clock.
+	// lastSeen is the latest record timestamp handed in; Tick forwards
+	// max(now, lastSeen) so a shard that saw only early records still
+	// evicts against the global clock.
 	lastSeen time.Time
 	flushed  bool
 }
-
-// idsMsg is one unit of work for a shard: a run of records and/or a
-// tick horizon, or a barrier request (done non-nil).
-type idsMsg struct {
-	recs []firewall.Record
-	tick time.Time
-	done chan<- struct{}
-}
-
-// defaultIDSBatch is the staging size for the single-record Process
-// path; large enough to amortize channel traffic, small enough that
-// streaming callers see timely progress.
-const defaultIDSBatch = 2048
 
 // NewSharded returns an IDS engine running the configuration's
 // aggregation levels across n parallel shards. n < 1 is treated as 1;
@@ -74,23 +56,25 @@ func NewSharded(cfg Config, n int) *ShardedEngine {
 	probe := New(cfg)
 	cfg = probe.Config()
 
-	se := &ShardedEngine{
-		cfg:       cfg,
-		shardLvl:  core.CoarsestLevel(cfg.Levels),
-		shards:    make([]*Engine, n),
-		chans:     make([]chan idsMsg, n),
-		batchSize: defaultIDSBatch,
-	}
+	se := &ShardedEngine{cfg: cfg, shards: make([]*Engine, n)}
 	for i := range se.shards {
 		if i == 0 {
 			se.shards[i] = probe
 		} else {
 			se.shards[i] = New(cfg)
 		}
-		se.chans[i] = make(chan idsMsg, 4)
-		se.wg.Add(1)
-		go se.worker(i)
 	}
+	se.disp = dispatch.New(dispatch.Config{
+		Shards: n,
+		Level:  core.CoarsestLevel(cfg.Levels),
+	}, func(shard int, recs []firewall.Record, mark time.Time) error {
+		e := se.shards[shard]
+		if !mark.IsZero() {
+			e.Tick(mark)
+		}
+		e.ProcessBatch(recs)
+		return nil
+	})
 	return se
 }
 
@@ -100,77 +84,30 @@ func (se *ShardedEngine) Config() Config { return se.cfg }
 // NumShards returns the worker count.
 func (se *ShardedEngine) NumShards() int { return len(se.shards) }
 
-func (se *ShardedEngine) worker(i int) {
-	defer se.wg.Done()
-	e := se.shards[i]
-	for msg := range se.chans[i] {
-		if !msg.tick.IsZero() {
-			e.Tick(msg.tick)
-		}
-		e.ProcessBatch(msg.recs)
-		if msg.done != nil {
-			msg.done <- struct{}{}
-		}
-	}
-}
-
 // Process ingests one record, staging it until a batch accumulates.
 func (se *ShardedEngine) Process(r firewall.Record) {
 	if se.flushed {
 		panic("ids: ShardedEngine used after Flush")
 	}
-	se.buf = append(se.buf, r)
-	if len(se.buf) >= se.batchSize {
-		se.flushBuf()
+	if r.Time.After(se.lastSeen) {
+		se.lastSeen = r.Time
 	}
+	se.disp.Process(r)
 }
 
 // ProcessBatch partitions a run of records across the shards and
 // dispatches it. The slice is not retained, so callers may reuse the
 // backing array between calls.
 func (se *ShardedEngine) ProcessBatch(recs []firewall.Record) {
-	se.flushBuf()
-	se.dispatch(recs, time.Time{})
-}
-
-func (se *ShardedEngine) flushBuf() {
-	if len(se.buf) > 0 {
-		se.dispatch(se.buf, time.Time{})
-		se.buf = se.buf[:0]
-	}
-}
-
-func (se *ShardedEngine) dispatch(recs []firewall.Record, tick time.Time) {
 	if se.flushed {
 		panic("ids: ShardedEngine used after Flush")
 	}
-	for _, r := range recs {
-		if r.Time.After(se.lastSeen) {
-			se.lastSeen = r.Time
+	for i := range recs {
+		if recs[i].Time.After(se.lastSeen) {
+			se.lastSeen = recs[i].Time
 		}
 	}
-	if len(se.shards) == 1 {
-		if len(recs) > 0 || !tick.IsZero() {
-			batch := make([]firewall.Record, len(recs))
-			copy(batch, recs)
-			se.chans[0] <- idsMsg{recs: batch, tick: tick}
-		}
-		return
-	}
-	parts := make([][]firewall.Record, len(se.shards))
-	sizeHint := len(recs)/len(se.shards) + len(recs)/8 + 1
-	for _, r := range recs {
-		i := core.PartitionShard(r.Src, se.shardLvl, len(se.shards))
-		if parts[i] == nil {
-			parts[i] = make([]firewall.Record, 0, sizeHint)
-		}
-		parts[i] = append(parts[i], r)
-	}
-	for i, part := range parts {
-		if len(part) > 0 || !tick.IsZero() {
-			se.chans[i] <- idsMsg{recs: part, tick: tick}
-		}
-	}
+	se.disp.ProcessBatch(recs)
 }
 
 // Tick advances time on every shard, evicting idle candidates exactly
@@ -179,24 +116,13 @@ func (se *ShardedEngine) dispatch(recs []firewall.Record, tick time.Time) {
 // lag the global clock still close the same candidates. Pending staged
 // records are dispatched first so eviction sees them.
 func (se *ShardedEngine) Tick(now time.Time) {
-	se.flushBuf()
+	if se.flushed {
+		panic("ids: ShardedEngine used after Flush")
+	}
 	if se.lastSeen.After(now) {
 		now = se.lastSeen
 	}
-	se.dispatch(nil, now)
-}
-
-// barrier blocks until every shard has processed all queued work, after
-// which the dispatching goroutine may touch shard engines directly
-// (the channel round-trip establishes the happens-before edge).
-func (se *ShardedEngine) barrier() {
-	done := make(chan struct{}, len(se.shards))
-	for _, ch := range se.chans {
-		ch <- idsMsg{done: done}
-	}
-	for range se.shards {
-		<-done
-	}
+	se.disp.Mark(now)
 }
 
 // Drain returns and clears the alerts accumulated by past Ticks across
@@ -205,17 +131,10 @@ func (se *ShardedEngine) barrier() {
 // safe (though not free) to call from the dispatching goroutine at any
 // point between batches.
 func (se *ShardedEngine) Drain() []Alert {
+	se.sync()
 	var out []Alert
-	if se.flushed {
-		for _, e := range se.shards {
-			out = append(out, e.Drain()...)
-		}
-	} else {
-		se.flushBuf()
-		se.barrier()
-		for _, e := range se.shards {
-			out = append(out, e.Drain()...)
-		}
+	for _, e := range se.shards {
+		out = append(out, e.Drain()...)
 	}
 	sortAlerts(out)
 	return out
@@ -227,12 +146,8 @@ func (se *ShardedEngine) Drain() []Alert {
 // remain valid).
 func (se *ShardedEngine) Flush() []Alert {
 	if !se.flushed {
-		se.flushBuf()
+		se.disp.Close()
 		se.flushed = true
-		for _, ch := range se.chans {
-			close(ch)
-		}
-		se.wg.Wait()
 	}
 	var out []Alert
 	for _, e := range se.shards {
@@ -279,10 +194,11 @@ func (se *ShardedEngine) DroppedCandidates() uint64 {
 	return total
 }
 
-// sync makes shard state safe to read from the dispatching goroutine.
+// sync makes shard state safe to read from the dispatching goroutine:
+// a dispatcher barrier while the workers run, a no-op once Flush has
+// joined them.
 func (se *ShardedEngine) sync() {
 	if !se.flushed {
-		se.flushBuf()
-		se.barrier()
+		se.disp.Barrier()
 	}
 }

@@ -28,6 +28,29 @@
 // end-of-stream down the chain so buffered stages drain and detectors
 // finalize exactly once; Close (on terminal sinks) releases resources
 // and is owned by the builder's RunInto.
+//
+// # Batch ownership
+//
+// One rule governs every batch slice in the system, whichever hop it
+// is on (source → stage, stage → stage, dispatcher → worker shard):
+//
+//   - A batch is valid only for the duration of the call that
+//     delivers it (ConsumeBatch, EmitBatch's emit, dispatch.Worker).
+//     The producer owns the backing array and WILL refill it: sources
+//     reuse one pooled chunk buffer for every chunk including the
+//     final short one, and the sharded sinks' dispatcher recycles its
+//     per-shard buffers through the same arena (dispatch.GetBatch /
+//     PutBatch) the moment the worker returns.
+//   - Within the call, the consumer may mutate the slice in place —
+//     filter stages compact survivors to the front; Tee therefore
+//     hands copies to every batch branch but its last.
+//   - Anything that retains records beyond the call must copy them
+//     (the analysis collectors copy record values; the sharded
+//     consumers partition into their own pooled buffers).
+//
+// TestBatchRetentionUnsafe codifies the rule from the consumer side:
+// a sink that stores an emitted slice observes it change under later
+// batches.
 package pipeline
 
 import (
@@ -49,10 +72,9 @@ type RecordSink interface {
 
 // BatchSink is implemented by sinks with a fast batch path. All
 // built-in stages and terminal sinks implement it, so a fully filtered
-// pipeline stays batch-to-batch. ConsumeBatch receives a slice that is
-// only valid for the duration of the call, and that the consumer may
-// compact or reorder in place (filter stages do): callers must pass
-// buffers they own, and consumers that retain records must copy.
+// pipeline stays batch-to-batch. ConsumeBatch receives a slice under
+// the package doc's batch-ownership rule: valid only during the call,
+// compactable in place, copy on retain.
 type BatchSink interface {
 	RecordSink
 	ConsumeBatch(recs []firewall.Record) error
@@ -82,11 +104,11 @@ type Source interface {
 // indirection entirely.
 type BatchSource interface {
 	Source
-	// EmitBatch pushes runs of up to batchSize records into emit. The
-	// emitted slice must be owned by the source (sources reuse and
-	// refill the backing array per call): consumers may compact it in
+	// EmitBatch pushes runs of up to batchSize records into emit,
+	// under the package doc's batch-ownership rule: the source owns
+	// (and refills) the backing array, consumers may compact in
 	// place, and sinks that retain records must copy (the sharded
-	// consumers already partition into fresh slices).
+	// consumers already partition into their own pooled buffers).
 	EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error
 }
 

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"v6scan/internal/firewall"
+)
+
+// Run-aware stable time sorting.
+//
+// The pipeline's record sources are time-ordered in the common case —
+// firewall logs are written in order, pcap captures nearly always are
+// — so a full sort.SliceStable over a buffered day does O(n log n)
+// comparisons to discover what one linear scan already knows. The
+// sorter here tracks maximal non-decreasing runs as records arrive:
+// already-sorted input is a single run and costs nothing to "sort",
+// and disordered input is repaired by stable bottom-up merges of
+// adjacent runs whose scratch window is bounded by the longest left
+// run of a pass — not the whole buffer — cutting both sort cost and
+// peak auxiliary memory on mostly-sorted streams.
+
+// SortByTime stably sorts records by timestamp in place. One scan
+// detects the sorted runs; fully ordered input returns immediately,
+// anything else pays one merge pass per doubling of run count.
+func SortByTime(recs []firewall.Record) {
+	var bounds []int
+	bounds = append(bounds, 0)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			bounds = append(bounds, i)
+		}
+	}
+	if len(bounds) == 1 {
+		return
+	}
+	bounds = append(bounds, len(recs))
+	var scratch []firewall.Record
+	mergeBounds(recs, bounds, &scratch)
+}
+
+// mergeBounds stably merges the sorted runs delimited by bounds
+// (bounds[0] == 0, bounds[len-1] == len(recs), interior entries are
+// run starts) until one run remains. bounds is consumed as scratch.
+func mergeBounds(recs []firewall.Record, bounds []int, scratch *[]firewall.Record) {
+	for len(bounds) > 2 {
+		w := 1
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			mergeRuns(recs, bounds[i], bounds[i+1], bounds[i+2], scratch)
+			bounds[w] = bounds[i+2]
+			w++
+		}
+		if i+1 < len(bounds) {
+			// Odd run out: carries to the next pass unmerged, which
+			// preserves stability (it is the rightmost, latest run).
+			bounds[w] = bounds[i+1]
+			w++
+		}
+		bounds = bounds[:w]
+	}
+}
+
+// mergeRuns stably merges the adjacent sorted runs recs[lo:mid] and
+// recs[mid:hi] in place. Ties take from the left run, preserving
+// arrival order among equal timestamps (the sort.SliceStable
+// contract). Only the left run is copied to scratch; the right run
+// streams directly, so auxiliary memory is bounded by the left run.
+func mergeRuns(recs []firewall.Record, lo, mid, hi int, scratch *[]firewall.Record) {
+	if !recs[mid].Time.Before(recs[mid-1].Time) {
+		// Already ordered across the boundary (common once early
+		// passes have repaired local disorder).
+		return
+	}
+	left := append((*scratch)[:0], recs[lo:mid]...)
+	*scratch = left
+	i, j, k := 0, mid, lo
+	for i < len(left) && j < hi {
+		if recs[j].Time.Before(left[i].Time) {
+			recs[k] = recs[j]
+			j++
+		} else {
+			recs[k] = left[i]
+			i++
+		}
+		k++
+	}
+	for i < len(left) {
+		recs[k] = left[i]
+		i++
+		k++
+	}
+	// Any remainder of the right run is already in place.
+}

@@ -3,10 +3,19 @@ package pipeline
 import (
 	"io"
 
+	"v6scan/internal/dispatch"
 	"v6scan/internal/firewall"
 	"v6scan/internal/layers"
 	"v6scan/internal/pcap"
 )
+
+// All EmitBatch implementations below share the pooled-buffer contract
+// of the package doc ("Batch ownership"): chunk buffers are drawn from
+// the dispatch package's batch arena — the same pool the sharded
+// sinks' dispatcher recycles its per-shard buffers through — refilled
+// in place for every chunk including the final short one, and returned
+// to the pool when the source is drained. Consumers therefore must not
+// retain an emitted slice beyond ConsumeBatch.
 
 // SliceSource emits an in-memory record slice.
 type SliceSource []firewall.Record
@@ -21,7 +30,7 @@ func (s SliceSource) Emit(emit func(r firewall.Record) error) error {
 	return nil
 }
 
-// EmitBatch implements BatchSource. Each chunk is copied into a reused
+// EmitBatch implements BatchSource. Each chunk is copied into a pooled
 // scratch buffer before emission: the batch contract lets consumers
 // (filter stages) compact the slice in place, and the caller's backing
 // slice must not be mutated.
@@ -29,11 +38,12 @@ func (s SliceSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) 
 	if len(s) == 0 {
 		return nil
 	}
-	buf := make([]firewall.Record, 0, min(batchSize, len(s)))
+	buf := dispatch.GetBatch(min(batchSize, len(s)))
+	defer dispatch.PutBatch(buf)
 	for start := 0; start < len(s); start += batchSize {
 		end := min(start+batchSize, len(s))
-		buf = append(buf[:0], s[start:end]...)
-		if err := emit(buf); err != nil {
+		*buf = append((*buf)[:0], s[start:end]...)
+		if err := emit(*buf); err != nil {
 			return err
 		}
 	}
@@ -68,27 +78,26 @@ func (s *LogSource) Emit(emit func(r firewall.Record) error) error {
 	}
 }
 
-// EmitBatch implements BatchSource: records are decoded into a reused
-// chunk buffer and handed downstream batchSize at a time.
+// EmitBatch implements BatchSource via Reader.NextBatch: each chunk is
+// one bulk read plus a tight decode loop straight into the pooled
+// chunk buffer, so steady-state ingest performs no per-record calls
+// and no per-chunk allocations.
 func (s *LogSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error {
-	buf := make([]firewall.Record, 0, batchSize)
+	buf := dispatch.GetBatch(batchSize)
+	defer dispatch.PutBatch(buf)
 	for {
-		rec, err := s.r.Next()
-		if err == io.EOF {
-			if len(buf) > 0 {
-				return emit(buf)
+		recs, err := s.r.NextBatch((*buf)[:0], batchSize)
+		*buf = recs
+		if len(recs) > 0 {
+			if eerr := emit(recs); eerr != nil {
+				return eerr
 			}
+		}
+		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
-		}
-		buf = append(buf, rec)
-		if len(buf) == batchSize {
-			if err := emit(buf); err != nil {
-				return err
-			}
-			buf = buf[:0]
 		}
 	}
 }
@@ -96,7 +105,8 @@ func (s *LogSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) e
 // PcapSource streams decoded IPv6 frames from a classic pcap capture
 // (Ethernet or raw IPv6 link types), skipping undecodable packets.
 // Captures are normally time-ordered; callers with unordered captures
-// should collect into a slice and sort, as cmd/v6scan does.
+// should collect into a slice and repair the order with SortByTime, as
+// cmd/v6scan does.
 type PcapSource struct {
 	r       io.Reader
 	skipped int
@@ -133,7 +143,7 @@ func (s *PcapSource) Emit(emit func(r firewall.Record) error) error {
 	}
 }
 
-// EmitBatch implements BatchSource: frames are decoded into a reused
+// EmitBatch implements BatchSource: frames are decoded into a pooled
 // chunk buffer and handed downstream batchSize at a time.
 func (s *PcapSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) error) error {
 	pr, err := pcap.NewReader(s.r)
@@ -141,12 +151,13 @@ func (s *PcapSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) 
 		return err
 	}
 	var d layers.Decoded
-	buf := make([]firewall.Record, 0, batchSize)
+	buf := dispatch.GetBatch(batchSize)
+	defer dispatch.PutBatch(buf)
 	for {
 		p, err := pr.Next()
 		if err == io.EOF {
-			if len(buf) > 0 {
-				return emit(buf)
+			if len(*buf) > 0 {
+				return emit(*buf)
 			}
 			return nil
 		}
@@ -157,12 +168,12 @@ func (s *PcapSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) 
 			s.skipped++
 			continue
 		}
-		buf = append(buf, firewall.FromDecoded(p.Timestamp, &d))
-		if len(buf) == batchSize {
-			if err := emit(buf); err != nil {
+		*buf = append(*buf, firewall.FromDecoded(p.Timestamp, &d))
+		if len(*buf) == batchSize {
+			if err := emit(*buf); err != nil {
 				return err
 			}
-			buf = buf[:0]
+			*buf = (*buf)[:0]
 		}
 	}
 }

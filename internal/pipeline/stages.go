@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"sort"
 	"time"
 
 	"v6scan/internal/firewall"
@@ -181,10 +180,22 @@ func (c *Counter) Count() uint64 { return c.n }
 // the artifact filter require from per-actor-ordered simulator output.
 // Input days must arrive in order (records of day N all precede day
 // N+1); within a day any order is accepted.
+//
+// Sorting is run-aware (see SortByTime): maximal sorted runs are
+// detected while buffering, so an already-ordered day — the common
+// case for LogSource and PcapSource input — drains with zero sort
+// work, and a mostly-ordered day pays only bounded-window merges of
+// its few disordered runs instead of a whole-day sort.
 type DaySort struct {
 	next RecordSink
 	day  time.Time
 	buf  []firewall.Record
+	// runs holds the start index of every non-first sorted run in buf
+	// (empty while the day is in order); bounds and scratch are reused
+	// merge workspace.
+	runs    []int
+	bounds  []int
+	scratch []firewall.Record
 }
 
 // NewDaySort returns a day-sorting stage.
@@ -199,28 +210,34 @@ func (d *DaySort) Consume(r firewall.Record) error {
 		}
 	}
 	d.day = day
-	d.buf = append(d.buf, r)
+	d.buffer(r)
 	return nil
 }
 
 // ConsumeBatch implements BatchSink: runs between day boundaries are
-// appended to the day buffer in one copy, and each completed day
-// drains downstream exactly where the record path would drain it.
+// buffered, and each completed day drains downstream exactly where the
+// record path would drain it.
 func (d *DaySort) ConsumeBatch(recs []firewall.Record) error {
-	start := 0
 	for i := range recs {
 		day := recs[i].Time.UTC().Truncate(24 * time.Hour)
 		if !d.day.IsZero() && day.After(d.day) {
-			d.buf = append(d.buf, recs[start:i]...)
-			start = i
 			if err := d.emit(); err != nil {
 				return err
 			}
 		}
 		d.day = day
+		d.buffer(recs[i])
 	}
-	d.buf = append(d.buf, recs[start:]...)
 	return nil
+}
+
+// buffer appends one record to the day buffer, recording a new run
+// start when it breaks the current non-decreasing run.
+func (d *DaySort) buffer(r firewall.Record) {
+	if n := len(d.buf); n > 0 && r.Time.Before(d.buf[n-1].Time) {
+		d.runs = append(d.runs, n)
+	}
+	d.buf = append(d.buf, r)
 }
 
 // Flush drains the buffered day downstream.
@@ -235,7 +252,12 @@ func (d *DaySort) emit() error {
 	if len(d.buf) == 0 {
 		return nil
 	}
-	sort.SliceStable(d.buf, func(i, j int) bool { return d.buf[i].Time.Before(d.buf[j].Time) })
+	if len(d.runs) > 0 {
+		d.bounds = append(append(d.bounds[:0], 0), d.runs...)
+		d.bounds = append(d.bounds, len(d.buf))
+		mergeBounds(d.buf, d.bounds, &d.scratch)
+		d.runs = d.runs[:0]
+	}
 	err := consumeBatch(d.next, d.buf)
 	d.buf = d.buf[:0]
 	return err

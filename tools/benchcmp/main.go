@@ -1,0 +1,182 @@
+// benchcmp compares two benchmark result files (the `go test -json
+// -bench ... -benchmem` output the CI bench smoke uploads as
+// bench.json) and prints a benchstat-style table, emitting GitHub
+// Actions warning annotations for every benchmark whose ns/op or
+// allocs/op regressed by more than 10%.
+//
+//	go run ./tools/benchcmp old-bench.json new-bench.json
+//
+// It always exits 0: the smoke benchmarks run one iteration on shared
+// CI runners, so deltas are advisory — the annotations flag a PR for
+// a human (or a longer local run) to judge, they do not gate merges.
+// Missing or unparsable baselines are reported and skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's parsed result line.
+type metrics struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// testEvent is the subset of the go test -json event schema we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkDetectorSharded4-4  2  299813419 ns/op  100000 records/op  89392544 B/op  395937 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parse(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]metrics{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// go test -json emits one event per write, not per line: a
+	// benchmark's name and its numbers arrive as separate Output
+	// fragments ("BenchmarkX \t" then "1\t 123 ns/op\n"), so fragments
+	// are reassembled into lines before matching.
+	var pending strings.Builder
+	record := func(text string) {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(text))
+		if m == nil {
+			return
+		}
+		name, rest := m[1], m[2]
+		var mt metrics
+		fields := strings.Fields(rest)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				mt.nsPerOp = v
+			case "allocs/op":
+				mt.allocsPerOp = v
+				mt.hasAllocs = true
+			}
+		}
+		if mt.nsPerOp > 0 {
+			out[name] = mt
+		}
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		// Accept both raw `go test -bench` output and -json events.
+		if len(line) > 0 && line[0] == '{' {
+			var ev testEvent
+			if json.Unmarshal(line, &ev) != nil || ev.Action != "output" {
+				continue
+			}
+			pending.WriteString(ev.Output)
+			for {
+				buffered := pending.String()
+				nl := strings.IndexByte(buffered, '\n')
+				if nl < 0 {
+					break
+				}
+				record(buffered[:nl])
+				pending.Reset()
+				pending.WriteString(buffered[nl+1:])
+			}
+			continue
+		}
+		record(string(line))
+	}
+	record(pending.String())
+	return out, sc.Err()
+}
+
+// delta formats a relative change, guarding the zero baseline.
+func delta(old, new float64) (float64, string) {
+	if old == 0 {
+		return 0, "n/a"
+	}
+	d := (new - old) / old * 100
+	return d, fmt.Sprintf("%+.1f%%", d)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp old-bench.json new-bench.json\n")
+		os.Exit(2)
+	}
+	old, err := parse(os.Args[1])
+	if err != nil {
+		fmt.Printf("benchcmp: cannot read baseline %s: %v — skipping compare\n", os.Args[1], err)
+		return
+	}
+	cur, err := parse(os.Args[2])
+	if err != nil {
+		fmt.Printf("benchcmp: cannot read %s: %v — skipping compare\n", os.Args[2], err)
+		return
+	}
+	if len(old) == 0 {
+		fmt.Printf("benchcmp: baseline %s holds no benchmark lines — skipping compare\n", os.Args[1])
+		return
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	const threshold = 10.0 // percent
+	warned := 0
+	fmt.Printf("%-55s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
+	for _, name := range names {
+		o, n := old[name], cur[name]
+		dns, dnsStr := delta(o.nsPerOp, n.nsPerOp)
+		allocsOld, allocsNew, dalStr := "-", "-", "-"
+		var dal float64
+		if o.hasAllocs && n.hasAllocs {
+			dal, dalStr = delta(o.allocsPerOp, n.allocsPerOp)
+			allocsOld = strconv.FormatFloat(o.allocsPerOp, 'f', 0, 64)
+			allocsNew = strconv.FormatFloat(n.allocsPerOp, 'f', 0, 64)
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %9s %12s %12s %9s\n",
+			name, o.nsPerOp, n.nsPerOp, dnsStr, allocsOld, allocsNew, dalStr)
+		if dns > threshold {
+			fmt.Printf("::warning title=benchmark regression::%s ns/op %s vs main (%.0f → %.0f); single-iteration smoke, confirm with a longer local run\n",
+				name, dnsStr, o.nsPerOp, n.nsPerOp)
+			warned++
+		}
+		if o.hasAllocs && n.hasAllocs && dal > threshold {
+			fmt.Printf("::warning title=allocation regression::%s allocs/op %s vs main (%s → %s)\n",
+				name, dalStr, allocsOld, allocsNew)
+			warned++
+		}
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			fmt.Printf("%-55s (new benchmark, no baseline)\n", name)
+		}
+	}
+	if warned == 0 {
+		fmt.Println("no >10% regressions vs main")
+	}
+}

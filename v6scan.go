@@ -205,6 +205,15 @@ func RecordsFromPcap(r io.Reader) ([]Record, int, error) {
 	return out, src.Skipped(), err
 }
 
+// SortRecordsByTime stably sorts records by timestamp in place,
+// run-aware: already-ordered input (the normal case for captures and
+// logs) is detected in one linear scan and costs no sort work, and
+// mostly-ordered input pays only bounded merges of its disordered
+// runs. Use it over sort.SliceStable wherever defensive re-sorting of
+// probably-sorted record slices is needed (cmd/v6scan's pcap path
+// does).
+func SortRecordsByTime(recs []Record) { pipeline.SortByTime(recs) }
+
 // Pipeline types: the composable streaming architecture every record
 // consumer plugs into (see internal/pipeline).
 type (
