@@ -5,6 +5,19 @@
 // optional 5-duplicate artifact pre-filter into the scan detector,
 // sharded across worker goroutines with -shards.
 //
+// Ingestion can be streaming and memory-bounded end to end: with
+// -window, pcap captures decode incrementally through a
+// bounded-lateness reorder buffer holding one window of records
+// instead of the whole capture (the default, -window 0, keeps the
+// materialize-and-sort behavior, which tolerates any disorder), and
+// -advance-every forwards a stream-time eviction horizon to every
+// detector shard so session state for idle sources is released
+// continuously instead of accumulating until the end of input. Output
+// is byte-identical whichever path is used, at any shard count, as
+// long as capture disorder stays within the window (a record trailing
+// the stream by more than the window aborts the run — rerun with a
+// larger window or -window 0).
+//
 // With -ids the offline detector is replaced by the inline
 // dynamic-aggregation IDS engine (sketched destination sets, bounded
 // memory): output is the blocklist-recommendation alert list instead
@@ -12,20 +25,23 @@
 // partitioning candidate state by coarsest-level source prefix across
 // worker shards; alerts are byte-identical at any shard count (unless
 // the engine's MaxCandidates bound kicks in, which each shard applies
-// to its own tables).
+// to its own tables). -advance-every overrides the engine's default
+// one-minute Tick cadence.
 //
 //	v6scan -i telescope.log                  # offline detector
 //	v6scan -i telescope.log -shards 8        # sharded detector
+//	v6scan -i capture.pcap -window 5s        # streaming pcap reorder
+//	v6scan -i telescope.log -advance-every 10m -shards 8
 //	v6scan -i telescope.log -ids -shards 8   # sharded inline IDS
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"sort"
 	"strings"
@@ -34,21 +50,54 @@ import (
 	"v6scan"
 )
 
+// errUsage marks usage errors whose diagnostics have already been
+// written to stderr (bad flags, missing input), so main neither
+// double-prints nor stays silent. Usage errors exit 2; runtime
+// failures exit 1 — the pre-refactor flag.ExitOnError / log.Fatal
+// contract.
+var errUsage = errors.New("usage error")
+
 func main() {
-	var (
-		input   = flag.String("i", "", "input file (.log binary records or .pcap); - for stdin log")
-		minDsts = flag.Int("min-dsts", 100, "minimum distinct destinations per scan")
-		timeout = flag.Duration("timeout", time.Hour, "maximum packet inter-arrival time")
-		levels  = flag.String("agg", "128,64,48", "comma-separated aggregation prefix lengths")
-		topN    = flag.Int("top", 20, "print at most N scans per level (0 = all)")
-		filter  = flag.Bool("filter", false, "apply the 5-duplicate artifact pre-filter first")
-		shards  = flag.Int("shards", 1, "detector/IDS worker shards (1 = serial; output is identical)")
-		useIDS  = flag.Bool("ids", false, "run the inline dynamic-aggregation IDS instead of the offline detector")
-	)
-	flag.Parse()
-	if *input == "" {
-		flag.Usage()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // -h: usage already printed, success
+	case errors.Is(err, errUsage): // diagnostic already printed
 		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "v6scan:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report on
+// stdout, diagnostics on stderr (the golden end-to-end tests drive it
+// directly and pin stdout byte for byte).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("v6scan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		input    = fs.String("i", "", "input file (.log binary records or .pcap); - for stdin log")
+		minDsts  = fs.Int("min-dsts", 100, "minimum distinct destinations per scan")
+		timeout  = fs.Duration("timeout", time.Hour, "maximum packet inter-arrival time")
+		levels   = fs.String("agg", "128,64,48", "comma-separated aggregation prefix lengths")
+		topN     = fs.Int("top", 20, "print at most N scans per level (0 = all)")
+		filter   = fs.Bool("filter", false, "apply the 5-duplicate artifact pre-filter first")
+		shards   = fs.Int("shards", 1, "detector/IDS worker shards (1 = serial; output is identical)")
+		useIDS   = fs.Bool("ids", false, "run the inline dynamic-aggregation IDS instead of the offline detector")
+		window   = fs.Duration("window", 0, "repair at most this much timestamp disorder in flight through a reorder buffer bounded to one window of records; for pcap, 0 materializes the capture and sorts it instead (tolerating any disorder), for logs 0 streams as-is (logs are written in order)")
+		advEvery = fs.Duration("advance-every", 0, "stream-time eviction cadence: periodically close idle detector sessions / tick the IDS, bounding memory (0 = only at end of input)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the FlagSet already printed the diagnostic
+	}
+	if *input == "" {
+		fmt.Fprintln(stderr, "v6scan: missing -i input")
+		fs.Usage()
+		return errUsage
 	}
 
 	cfg := v6scan.DefaultDetectorConfig()
@@ -58,72 +107,93 @@ func main() {
 	for _, part := range strings.Split(*levels, ",") {
 		var bits int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &bits); err != nil {
-			log.Fatalf("bad -agg element %q", part)
+			return fmt.Errorf("bad -agg element %q", part)
 		}
 		lvl := v6scan.AggLevel(bits)
 		if !lvl.Valid() {
-			log.Fatalf("invalid aggregation level %d", bits)
+			return fmt.Errorf("invalid aggregation level %d", bits)
 		}
 		cfg.Levels = append(cfg.Levels, lvl)
 	}
 
-	src, err := openSource(*input)
+	b, reportSkipped, closer, err := openSource(*input, *window, stderr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-
-	if *useIDS {
-		runIDS(src, cfg, *shards, *filter, *topN)
-		return
+	if closer != nil {
+		defer closer.Close()
 	}
-
-	// Builder chain: optional artifact filter → counter → detector
-	// (plain when serial, sharded otherwise; Detect returns the merged
-	// view either way). The counter sits past the filter so
-	// "processed" reports what detection actually consumed.
-	b := v6scan.From(src)
+	if *advEvery > 0 {
+		b.AdvanceEvery(*advEvery)
+	}
 	if *filter {
 		b.Artifact()
 	}
+	// The counter sits past the filter so "processed" reports what
+	// detection actually consumed. The counter stage is created at
+	// build time (inside the terminal helpers), so the helpers take
+	// the out-pointer's address.
 	var counted *v6scan.PipelineCounter
 	b.Counter(&counted)
-	det, err := b.Detect(context.Background(), cfg, *shards)
+
+	if *useIDS {
+		err = runIDS(b, stdout, cfg, *shards, *advEvery, *topN, &counted)
+	} else {
+		err = runDetect(b, stdout, cfg, *shards, *topN, &counted)
+	}
+	if reportSkipped != nil {
+		reportSkipped()
+	}
+	return err
+}
+
+// runDetect terminates the prepared builder in the offline detector
+// (plain when serial, sharded otherwise; Detect returns the merged
+// view either way) and prints the per-level scan tables.
+func runDetect(b *v6scan.Builder, stdout io.Writer, cfg v6scan.DetectorConfig, shards, topN int, counted **v6scan.PipelineCounter) error {
+	det, err := b.Detect(context.Background(), cfg, shards)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("processed %d records\n", counted.Count())
+	fmt.Fprintf(stdout, "processed %d records\n", (*counted).Count())
 	for _, lvl := range cfg.Levels {
 		scans := det.Scans(lvl)
-		fmt.Printf("\n=== %s: %d scans ===\n", lvl, len(scans))
+		fmt.Fprintf(stdout, "\n=== %s: %d scans ===\n", lvl, len(scans))
 		sort.Slice(scans, func(i, j int) bool { return scans[i].Packets > scans[j].Packets })
 		for i, s := range scans {
-			if *topN > 0 && i >= *topN {
-				fmt.Printf("  … %d more\n", len(scans)-i)
+			if topN > 0 && i >= topN {
+				fmt.Fprintf(stdout, "  … %d more\n", len(scans)-i)
 				break
 			}
-			fmt.Printf("  %-30s %8d pkts %6d dsts %5d ports %3d srcs %v [%s]\n",
+			fmt.Fprintf(stdout, "  %-30s %8d pkts %6d dsts %5d ports %3d srcs %v [%s]\n",
 				s.Source, s.Packets, s.Dsts, s.NumPorts(), s.SrcAddrs,
 				s.Duration().Round(time.Second), s.Class())
 		}
 	}
+	return nil
 }
 
-// runIDS streams the source through the inline dynamic-aggregation
-// engine (sharded when -shards > 1) and prints the merged alert list —
-// the blocklist recommendations the Discussion section calls for.
-func runIDS(src v6scan.RecordSource, det v6scan.DetectorConfig, shards int, filter bool, topN int) {
+// runIDS terminates the prepared builder in the inline
+// dynamic-aggregation engine (sharded when -shards > 1) and prints the
+// merged alert list — the blocklist recommendations the Discussion
+// section calls for.
+func runIDS(b *v6scan.Builder, stdout io.Writer, det v6scan.DetectorConfig, shards int, advEvery time.Duration, topN int, counted **v6scan.PipelineCounter) error {
 	cfg := v6scan.DefaultIDSConfig()
 	cfg.MinDsts = det.MinDsts
 	cfg.Timeout = det.Timeout
 	cfg.Levels = det.Levels
 
-	// Tick once per minute of stream time, the inline-deployment
-	// cadence: idle candidates are evicted (and their alerts emitted)
-	// mid-stream instead of all pooling until Flush. The cadence and
-	// drop introspection need the sink in hand, so the builder
-	// terminates through RunInto rather than the IDS helper.
-	const tickEvery = time.Minute
+	// Tick once per minute of stream time by default — the
+	// inline-deployment cadence, overridable with -advance-every: idle
+	// candidates are evicted (and their alerts emitted) mid-stream
+	// instead of all pooling until Flush. The cadence and drop
+	// introspection need the sink in hand, so the builder terminates
+	// through RunInto rather than the IDS helper.
+	tickEvery := time.Minute
+	if advEvery > 0 {
+		tickEvery = advEvery
+	}
 	var idsSink v6scan.TerminalSink
 	var drained func() []v6scan.IDSAlert
 	var dropped func() uint64
@@ -140,56 +210,80 @@ func runIDS(src v6scan.RecordSource, det v6scan.DetectorConfig, shards int, filt
 		drained = s.Result
 		dropped = s.E.DroppedCandidates
 	}
-	b := v6scan.From(src)
-	if filter {
-		b.Artifact()
-	}
-	var counted *v6scan.PipelineCounter
-	b.Counter(&counted)
 	if err := b.RunInto(context.Background(), idsSink); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	alerts := drained()
-	fmt.Printf("processed %d records: %d IDS alerts\n", counted.Count(), len(alerts))
+	fmt.Fprintf(stdout, "processed %d records: %d IDS alerts\n", (*counted).Count(), len(alerts))
 	if n := dropped(); n > 0 {
-		fmt.Printf("  warning: %d candidates dropped by the MaxCandidates bound — alerts are incomplete\n", n)
+		fmt.Fprintf(stdout, "  warning: %d candidates dropped by the MaxCandidates bound — alerts are incomplete\n", n)
 	}
 	for i, a := range alerts {
 		if topN > 0 && i >= topN {
-			fmt.Printf("  … %d more\n", len(alerts)-i)
+			fmt.Fprintf(stdout, "  … %d more\n", len(alerts)-i)
 			break
 		}
-		fmt.Printf("  %s\n", a)
+		fmt.Fprintf(stdout, "  %s\n", a)
 	}
+	return nil
 }
 
-// openSource returns a pipeline source for the input path: a streaming
-// log reader, or a pcap decode materialized and sorted (detection
-// requires time order; captures normally are ordered, so the
-// defensive sort is the run-aware one — a single linear scan when the
-// capture is in order, bounded run merges when it is not).
-func openSource(path string) (v6scan.RecordSource, error) {
+// openSource starts a pipeline builder for the input path. Binary logs
+// stream directly (they are written in time order); window > 0 adds
+// the bounded-lateness reorder buffer for logs with interleave (e.g.
+// multi-writer merges). Pcap captures
+// stream through the bounded-lateness reorder buffer when window > 0 —
+// peak memory is one window of records, and output is identical to a
+// full sort as long as capture disorder stays within the window
+// (records later than that abort the run; rerun with a larger
+// -window). window = 0 falls back to decoding the whole capture into
+// memory and repairing order with the run-aware sort. The returned
+// report func, when non-nil, reports undecodable-packet counts to
+// stderr after the run (streaming decode only knows them at the end);
+// the returned closer, when non-nil, is the opened input file the
+// caller must close after the run (run() is a reusable seam — the
+// golden tests call it repeatedly in one process).
+func openSource(path string, window time.Duration, stderr io.Writer) (b *v6scan.Builder, report func(), closer io.Closer, err error) {
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin
 	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return nil, nil, nil, ferr
 		}
+		closer = f
 		r = bufio.NewReaderSize(f, 1<<20)
 	}
-	if strings.HasSuffix(path, ".pcap") {
-		recs, skipped, err := v6scan.RecordsFromPcap(r)
-		if err != nil {
-			return nil, err
+	if !strings.HasSuffix(path, ".pcap") {
+		b := v6scan.From(v6scan.NewLogSource(r))
+		if window > 0 {
+			// Logs are written in time order, but multi-writer merges
+			// can interleave; the same bounded reorder repair applies.
+			b.WindowSort(window)
 		}
-		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "skipped %d undecodable packets\n", skipped)
-		}
-		v6scan.SortRecordsByTime(recs)
-		return v6scan.NewSliceSource(recs), nil
+		return b, nil, closer, nil
 	}
-	return v6scan.NewLogSource(r), nil
+	if window > 0 {
+		src := v6scan.NewPcapSource(r)
+		report = func() {
+			if n := src.Skipped(); n > 0 {
+				fmt.Fprintf(stderr, "skipped %d undecodable packets\n", n)
+			}
+		}
+		return v6scan.From(src).WindowSort(window), report, closer, nil
+	}
+	recs, skipped, err := v6scan.RecordsFromPcap(r)
+	if err != nil {
+		if closer != nil {
+			closer.Close()
+		}
+		return nil, nil, nil, err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(stderr, "skipped %d undecodable packets\n", skipped)
+	}
+	v6scan.SortRecordsByTime(recs)
+	return v6scan.From(v6scan.NewSliceSource(recs)), nil, closer, nil
 }

@@ -74,6 +74,11 @@ func main() {
 	// identical stream.
 	det := v6scan.NewDetector(cfg)
 	idsSink := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(v6scan.DefaultIDSConfig(), *shards))
+	// Tick once per minute of stream time — the inline deployment's
+	// timer: idle candidates are evicted (and their alerts emitted)
+	// mid-stream, bounding memory; the horizon reaches every shard
+	// through the dispatcher, so alerts stay identical at any -shards.
+	idsSink.TickEvery = time.Minute
 	if err := v6scan.From(v6scan.NewSliceSource(recs)).
 		Tee(v6scan.NewDetectorSink(det)).
 		RunInto(context.Background(), idsSink); err != nil {

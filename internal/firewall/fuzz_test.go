@@ -1,0 +1,124 @@
+package firewall
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"v6scan/internal/layers"
+	"v6scan/internal/netaddr6"
+)
+
+// fuzzSeedLog encodes the fixture-style records the package's unit
+// tests use — valid multi-record logs, extreme timestamps, the zero
+// record — so the fuzzer starts from structurally meaningful corpora
+// rather than only random bytes.
+func fuzzSeedLog() [][]byte {
+	mk := func(recs ...Record) []byte {
+		var b []byte
+		for _, r := range recs {
+			b = r.AppendBinary(b)
+		}
+		return b
+	}
+	t0 := time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)
+	r1 := Record{
+		Time: t0, Src: netaddr6.MustAddr("2001:db8::1"), Dst: netaddr6.MustAddr("2001:db8:f::1"),
+		Proto: layers.ProtoTCP, SrcPort: 40000, DstPort: 22, Length: 60,
+	}
+	r2 := r1
+	r2.Time = t0.Add(time.Second)
+	r2.Proto, r2.DstPort = layers.ProtoUDP, 53
+	extreme := Record{
+		Time: time.Unix(0, -1<<62).UTC(), Src: netaddr6.MustAddr("::"),
+		Dst:   netaddr6.MustAddr("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"),
+		Proto: layers.IPProtocol(255), SrcPort: 65535, DstPort: 65535, Length: 65535,
+	}
+	full := mk(r1, r2, r1, r2, extreme, Record{})
+	return [][]byte{
+		nil,
+		mk(r1),
+		full,
+		full[:len(full)-13],     // truncated trailing record
+		full[:recordWireSize-1], // shorter than one record
+		bytes.Repeat([]byte{0xff}, 3*recordWireSize),
+	}
+}
+
+// FuzzFirewallReader is the binary-log decoder fuzz target: for any
+// byte stream, Next and NextBatch must never panic or overread, and —
+// the differential property — must decode the identical record
+// sequence and agree on how the stream ends (clean EOF vs truncated
+// record, including the reported trailing-byte count).
+func FuzzFirewallReader(f *testing.F) {
+	for _, seed := range fuzzSeedLog() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Reference: one record at a time.
+		var nextRecs []Record
+		var nextErr error
+		rd := NewReader(bytes.NewReader(data))
+		for {
+			r, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				nextErr = err
+				break
+			}
+			nextRecs = append(nextRecs, r)
+		}
+
+		// Bulk path at several batch sizes, always through the
+		// io.EOF-with-records contract.
+		for _, max := range []int{1, 3, 64} {
+			var recs []Record
+			var batchErr error
+			rd := NewReader(bytes.NewReader(data))
+			buf := make([]Record, 0, max)
+			for {
+				out, err := rd.NextBatch(buf[:0], max)
+				recs = append(recs, out...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					batchErr = err
+					break
+				}
+			}
+			if len(recs) != len(nextRecs) {
+				t.Fatalf("max=%d: NextBatch decoded %d records, Next %d", max, len(recs), len(nextRecs))
+			}
+			for i := range recs {
+				if recs[i] != nextRecs[i] {
+					t.Fatalf("max=%d: record %d differs:\nbatch %+v\n next %+v", max, i, recs[i], nextRecs[i])
+				}
+			}
+			if (batchErr == nil) != (nextErr == nil) {
+				t.Fatalf("max=%d: NextBatch err %v, Next err %v", max, batchErr, nextErr)
+			}
+			if batchErr != nil {
+				if !errors.Is(batchErr, ErrShortRecord) || !errors.Is(nextErr, ErrShortRecord) {
+					t.Fatalf("max=%d: unexpected error classes: batch %v, next %v", max, batchErr, nextErr)
+				}
+				if batchErr.Error() != nextErr.Error() {
+					t.Fatalf("max=%d: truncation diagnostics disagree: batch %q, next %q", max, batchErr, nextErr)
+				}
+			}
+		}
+
+		// Decoded prefix must round-trip: len(recs)*wire bytes of input.
+		var re []byte
+		for _, r := range nextRecs {
+			re = r.AppendBinary(re)
+		}
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("decoded records do not round-trip the input prefix")
+		}
+	})
+}

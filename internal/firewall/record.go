@@ -190,12 +190,15 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
 // Next returns the next record; io.EOF signals a clean end.
 func (rd *Reader) Next() (Record, error) {
-	if _, err := io.ReadFull(rd.r, rd.buf[:]); err != nil {
+	if n, err := io.ReadFull(rd.r, rd.buf[:]); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
 		if err == io.ErrUnexpectedEOF {
-			return Record{}, fmt.Errorf("%w: trailing %d bytes", ErrShortRecord, len(rd.buf))
+			// n is the actual partial length (the fuzz harness pins the
+			// count against NextBatch's; this used to misreport the full
+			// record size).
+			return Record{}, fmt.Errorf("%w: trailing %d bytes", ErrShortRecord, n)
 		}
 		return Record{}, err
 	}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"time"
 
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
@@ -39,7 +40,11 @@ type Builder struct {
 	// branches collects Tee side sinks so RunInto can extend the
 	// terminal lifecycle (Close) to them.
 	branches []RecordSink
-	spent    bool
+	// advanceEvery is the stream-time eviction cadence the terminal
+	// helpers apply: Detect sets the sink's AdvanceEvery, IDS the
+	// sink's TickEvery. Zero leaves eviction to Flush.
+	advanceEvery time.Duration
+	spent        bool
 }
 
 // From starts a builder reading from src.
@@ -87,6 +92,36 @@ func (b *Builder) Counter(out **Counter) *Builder {
 // DaySort appends a per-UTC-day buffering sort stage.
 func (b *Builder) DaySort() *Builder {
 	return b.stage(func(next RecordSink) RecordSink { return NewDaySort(next) })
+}
+
+// WindowSort appends a bounded-lateness streaming reorder stage: a
+// record is released, in stable timestamp order, once the stream has
+// advanced window past it. The memory-bounded replacement for DaySort
+// on near-sorted sources — whenever the input's disorder stays within
+// the window, the emitted stream equals a full stable sort. Records
+// later than the window abort the run with an error.
+func (b *Builder) WindowSort(window time.Duration) *Builder {
+	return b.stage(func(next RecordSink) RecordSink { return NewWindowSort(window, next) })
+}
+
+// AdvanceEvery sets the stream-time eviction cadence RunInto — and so
+// every terminal helper — applies to a cadence-capable terminal sink:
+// the detector sinks forward Detector.Advance (scan output is
+// unchanged — only peak memory is bounded), the IDS sinks forward
+// Engine.Tick (the inline deployment's timer, which does determine
+// when idle candidates close). On the sharded terminals the horizon
+// travels to every shard through the dispatcher's marks, ordered with
+// the record stream, so output stays byte-identical at any shard
+// count. Zero (the default) leaves all eviction to Flush and never
+// touches the sink, so a cadence configured on the sink directly is
+// preserved; a non-zero builder cadence wins over one set on the
+// sink. Terminals without an eviction cadence ignore it — MAWI
+// detectors are bounded by construction (one capture window), and
+// arbitrary RunInto sinks opt in by implementing
+// setCadence(time.Duration) (all built-in detector/IDS sinks do).
+func (b *Builder) AdvanceEvery(every time.Duration) *Builder {
+	b.advanceEvery = every
+	return b
 }
 
 // Artifact appends the 5-duplicate artifact pre-filter. With no
@@ -169,6 +204,11 @@ func (b *Builder) Build(sink RecordSink) *Pipeline {
 // implements Sink is closed. The run error wins over any teardown
 // error; otherwise the first teardown error is returned.
 func (b *Builder) RunInto(ctx context.Context, sink RecordSink) error {
+	if b.advanceEvery > 0 {
+		if cs, ok := sink.(interface{ setCadence(time.Duration) }); ok {
+			cs.setCadence(b.advanceEvery)
+		}
+	}
 	branches := b.branches
 	err := b.Build(sink).RunContext(ctx)
 	for _, s := range append([]RecordSink{sink}, branches...) {
@@ -203,9 +243,10 @@ func (b *Builder) Detect(ctx context.Context, cfg core.Config, shards int) (*cor
 
 // IDS terminates the pipeline in the dynamic-aggregation IDS engine —
 // sharded when shards > 1 — runs it, and returns the accumulated
-// alerts (byte-identical at any shard count). For a stream-time Tick
-// cadence or engine introspection, construct an IDSSink /
-// ShardedIDSSink directly and use RunInto.
+// alerts (byte-identical at any shard count). AdvanceEvery sets the
+// inline Tick cadence; for engine introspection (dropped-candidate
+// counts, memory estimates), construct an IDSSink / ShardedIDSSink
+// directly and use RunInto.
 func (b *Builder) IDS(ctx context.Context, cfg ids.Config, shards int) ([]ids.Alert, error) {
 	if shards > 1 {
 		sink := NewShardedIDSSink(ids.NewSharded(cfg, shards))

@@ -51,6 +51,32 @@
 // TestBatchRetentionUnsafe codifies the rule from the consumer side:
 // a sink that stores an emitted slice observes it change under later
 // batches.
+//
+// Streaming sources obey the same rule from the producer side: Log and
+// Pcap sources decode incrementally from their io.Reader into one
+// pooled chunk buffer (dispatch.GetBatch) that every chunk — including
+// the final short one — refills in place, so a whole capture or
+// multi-day log flows through the chain holding only O(batch) decode
+// state. Record values themselves are safe to copy out of a batch at
+// any time (they contain no producer-owned pointers); only the slice
+// is loaned.
+//
+// # Streaming reorder and lateness
+//
+// WindowSort extends the ownership rule across buffering: it copies
+// record values out of incoming batches into its own reorder buffer
+// (never aliasing a producer's slice) and emits released prefixes of
+// that buffer downstream under the standard loan — consumers may
+// compact the emitted prefix in place; the retained tail is outside
+// it. Its lateness contract is the streaming counterpart of DaySort's
+// "days arrive in order" precondition: a record may trail the stream's
+// high-water mark by at most the configured window. Records trailing
+// further may already be unplaceable (their slot can have been
+// released), so the stage fails fast with a diagnostic — identically
+// on the record and batch paths — instead of silently corrupting
+// downstream time order. Callers size the window to their source's
+// worst-case disorder and get full-sort-equivalent output (see the
+// WindowSort doc) in exchange for window-bounded memory.
 package pipeline
 
 import (

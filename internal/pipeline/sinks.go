@@ -53,25 +53,53 @@ var Discard RecordSink = SinkFunc(func(firewall.Record) error { return nil })
 // DetectorSink terminates a pipeline in the multi-aggregation scan
 // detector. Flush calls Finish, after which the detector's scan
 // accessors are valid.
+//
+// AdvanceEvery, when positive, forwards Detector.Advance on a
+// stream-time cadence (checked at record/batch granularity) so
+// sessions idle past the timeout are closed mid-stream and the
+// working set stays proportional to one timeout of stream instead of
+// growing until Flush. Advancing never changes the detected scans —
+// a session closed early by Advance is exactly the session Finish
+// would have closed — so the cadence is purely a memory bound.
 type DetectorSink struct {
-	D       *core.Detector
-	flushed bool
+	D            *core.Detector
+	AdvanceEvery time.Duration
+	lastAdvance  time.Time
+	flushed      bool
 }
 
 // NewDetectorSink wraps a detector.
 func NewDetectorSink(d *core.Detector) *DetectorSink { return &DetectorSink{D: d} }
 
-// Consume implements RecordSink.
-func (s *DetectorSink) Consume(r firewall.Record) error { return s.D.Process(r) }
+// setCadence lets Builder.AdvanceEvery reach this sink through
+// RunInto.
+func (s *DetectorSink) setCadence(d time.Duration) { s.AdvanceEvery = d }
 
-// ConsumeBatch implements BatchSink.
-func (s *DetectorSink) ConsumeBatch(recs []firewall.Record) error {
-	for _, r := range recs {
-		if err := s.D.Process(r); err != nil {
-			return err
-		}
+// Consume implements RecordSink. The cadence check runs before the
+// record is ingested, as on IDSSink: a record that jumped past the
+// cadence first advances the eviction horizon, then contributes its
+// own activity.
+func (s *DetectorSink) Consume(r firewall.Record) error {
+	if due(&s.lastAdvance, s.AdvanceEvery, r.Time) {
+		s.D.Advance(r.Time)
 	}
-	return nil
+	return s.D.Process(r)
+}
+
+// ConsumeBatch implements BatchSink, splitting the batch at every
+// cadence point so advances fire at the same stream positions as on
+// the per-record path.
+func (s *DetectorSink) ConsumeBatch(recs []firewall.Record) error {
+	return splitByCadence(recs, &s.lastAdvance, s.AdvanceEvery,
+		func(part []firewall.Record) error {
+			for _, r := range part {
+				if err := s.D.Process(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(t time.Time) error { s.D.Advance(t); return nil })
 }
 
 // Flush implements RecordSink, finalizing the detector exactly once.
@@ -92,18 +120,43 @@ func (s *DetectorSink) Result() *core.Detector { return s.D }
 // ShardedSink terminates a pipeline in the sharded detector,
 // forwarding batches to its parallel ProcessBatch path. Flush calls
 // Finish, which merges the shards and surfaces any worker error.
+//
+// AdvanceEvery behaves as on DetectorSink: the cadence forwards a
+// global stream-time horizon to every shard through the dispatcher's
+// mark channel (ordered with the record stream), so per-shard session
+// state is evicted continuously — even on shards whose own records
+// lag the global clock — and the merged output stays byte-identical
+// to the unsharded, un-advanced detector's.
 type ShardedSink struct {
-	D *core.ShardedDetector
+	D            *core.ShardedDetector
+	AdvanceEvery time.Duration
+	lastAdvance  time.Time
 }
 
 // NewShardedSink wraps a sharded detector.
 func NewShardedSink(d *core.ShardedDetector) *ShardedSink { return &ShardedSink{D: d} }
 
-// Consume implements RecordSink via the detector's staged batching.
-func (s *ShardedSink) Consume(r firewall.Record) error { return s.D.Process(r) }
+// setCadence lets Builder.AdvanceEvery reach this sink through
+// RunInto.
+func (s *ShardedSink) setCadence(d time.Duration) { s.AdvanceEvery = d }
 
-// ConsumeBatch implements BatchSink.
-func (s *ShardedSink) ConsumeBatch(recs []firewall.Record) error { return s.D.ProcessBatch(recs) }
+// Consume implements RecordSink via the detector's staged batching;
+// the cadence check runs before ingestion, as on DetectorSink.
+func (s *ShardedSink) Consume(r firewall.Record) error {
+	if due(&s.lastAdvance, s.AdvanceEvery, r.Time) {
+		if err := s.D.Advance(r.Time); err != nil {
+			return err
+		}
+	}
+	return s.D.Process(r)
+}
+
+// ConsumeBatch implements BatchSink, splitting at cadence points as on
+// DetectorSink.
+func (s *ShardedSink) ConsumeBatch(recs []firewall.Record) error {
+	return splitByCadence(recs, &s.lastAdvance, s.AdvanceEvery,
+		s.D.ProcessBatch, s.D.Advance)
+}
 
 // Flush implements RecordSink. The detector's Finish is idempotent, so
 // repeat flushes only re-report the first worker error.
@@ -175,6 +228,10 @@ type IDSSink struct {
 // NewIDSSink wraps an IDS engine.
 func NewIDSSink(e *ids.Engine) *IDSSink { return &IDSSink{E: e} }
 
+// setCadence lets Builder.AdvanceEvery reach this sink through
+// RunInto (the builder cadence drives Tick here).
+func (s *IDSSink) setCadence(d time.Duration) { s.TickEvery = d }
+
 // Consume implements RecordSink. The cadence check runs before the
 // record is ingested: a record whose timestamp jumped past the
 // cadence first advances the engine clock (evicting candidates that
@@ -193,20 +250,9 @@ func (s *IDSSink) Consume(r firewall.Record) error {
 // per-record path — batch size (and stages that force the record
 // path) never change which sessions merge.
 func (s *IDSSink) ConsumeBatch(recs []firewall.Record) error {
-	if s.TickEvery <= 0 {
-		s.E.ProcessBatch(recs)
-		return nil
-	}
-	start := 0
-	for i, r := range recs {
-		if due(&s.lastTick, s.TickEvery, r.Time) {
-			s.E.ProcessBatch(recs[start:i])
-			s.E.Tick(r.Time)
-			start = i
-		}
-	}
-	s.E.ProcessBatch(recs[start:])
-	return nil
+	return splitByCadence(recs, &s.lastTick, s.TickEvery,
+		func(part []firewall.Record) error { s.E.ProcessBatch(part); return nil },
+		func(t time.Time) error { s.E.Tick(t); return nil })
 }
 
 // Flush implements RecordSink, draining the engine exactly once (a
@@ -241,6 +287,10 @@ type ShardedIDSSink struct {
 // NewShardedIDSSink wraps a sharded IDS engine.
 func NewShardedIDSSink(e *ids.ShardedEngine) *ShardedIDSSink { return &ShardedIDSSink{E: e} }
 
+// setCadence lets Builder.AdvanceEvery reach this sink through
+// RunInto (the builder cadence drives Tick here).
+func (s *ShardedIDSSink) setCadence(d time.Duration) { s.TickEvery = d }
+
 // Consume implements RecordSink via the engine's staged batching; the
 // cadence check runs before ingestion, as on IDSSink.
 func (s *ShardedIDSSink) Consume(r firewall.Record) error {
@@ -254,20 +304,9 @@ func (s *ShardedIDSSink) Consume(r firewall.Record) error {
 // ConsumeBatch implements BatchSink, splitting at cadence points as
 // on IDSSink.
 func (s *ShardedIDSSink) ConsumeBatch(recs []firewall.Record) error {
-	if s.TickEvery <= 0 {
-		s.E.ProcessBatch(recs)
-		return nil
-	}
-	start := 0
-	for i, r := range recs {
-		if due(&s.lastTick, s.TickEvery, r.Time) {
-			s.E.ProcessBatch(recs[start:i])
-			s.E.Tick(r.Time)
-			start = i
-		}
-	}
-	s.E.ProcessBatch(recs[start:])
-	return nil
+	return splitByCadence(recs, &s.lastTick, s.TickEvery,
+		func(part []firewall.Record) error { s.E.ProcessBatch(part); return nil },
+		func(t time.Time) error { s.E.Tick(t); return nil })
 }
 
 // Flush implements RecordSink, stopping the workers and merging the
@@ -286,6 +325,33 @@ func (s *ShardedIDSSink) Close() error { return s.Flush() }
 // Result returns the deterministically merged alerts. Valid after
 // Flush.
 func (s *ShardedIDSSink) Result() []ids.Alert { return s.Alerts }
+
+// splitByCadence drives a batch through process, splitting it at
+// every stream-time cadence point and invoking fire there first —
+// exactly the positions the per-record path (due before each Consume)
+// would fire at, so batch size never changes which sessions merge or
+// when eviction horizons advance. A non-positive cadence degrades to
+// one process call. Shared by the detector sinks (fire = Advance) and
+// the IDS sinks (fire = Tick).
+func splitByCadence(recs []firewall.Record, last *time.Time, every time.Duration,
+	process func([]firewall.Record) error, fire func(time.Time) error) error {
+	if every <= 0 {
+		return process(recs)
+	}
+	start := 0
+	for i, r := range recs {
+		if due(last, every, r.Time) {
+			if err := process(recs[start:i]); err != nil {
+				return err
+			}
+			if err := fire(r.Time); err != nil {
+				return err
+			}
+			start = i
+		}
+	}
+	return process(recs[start:])
+}
 
 // due reports whether a stream-time tick cadence has elapsed at t,
 // advancing the stored mark when it has. A zero or negative cadence

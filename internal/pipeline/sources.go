@@ -104,9 +104,10 @@ func (s *LogSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) e
 
 // PcapSource streams decoded IPv6 frames from a classic pcap capture
 // (Ethernet or raw IPv6 link types), skipping undecodable packets.
-// Captures are normally time-ordered; callers with unordered captures
-// should collect into a slice and repair the order with SortByTime, as
-// cmd/v6scan does.
+// Captures are normally time-ordered; callers with bounded disorder
+// (interface-timestamp jitter) chain a WindowSort stage to repair it
+// in flight, as cmd/v6scan's -window does — only unbounded disorder
+// still needs collecting into a slice and SortByTime.
 type PcapSource struct {
 	r       io.Reader
 	skipped int

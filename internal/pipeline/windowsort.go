@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"v6scan/internal/firewall"
+)
+
+// WindowSort is a bounded-lateness streaming reorder buffer: it
+// repairs record disorder up to a configurable maximum skew window
+// without ever buffering more than one window's worth of stream. It is
+// the streaming replacement for whole-day buffering (DaySort) on
+// near-sorted sources — pcap captures with interface-timestamp jitter,
+// multi-writer logs with small interleave — where buffering a full day
+// costs memory proportional to the day instead of the disorder bound.
+//
+// Semantics: a record is held until the stream maximum has advanced at
+// least `window` past its timestamp, then released downstream in
+// stable timestamp order. Whenever the input's disorder is bounded by
+// the window — every record is at most `window` older than the records
+// before it — the emitted sequence is exactly sort.SliceStable over
+// the input (TestWindowSortMatchesFullSort). Peak buffering is the
+// number of records whose timestamps span one window; nothing is
+// spilled.
+//
+// A record arriving more than the window late — trailing the stream's
+// high-water mark by more than the window — may be impossible to
+// place without violating the downstream time-order contract
+// (everything up to high-water − window may already have been
+// released), so it is rejected with an error naming the skew. The
+// check is against the high-water mark, not against what happens to
+// have been released so far, so acceptance is a pure function of the
+// record sequence: record-by-record and batched feeding fail (or
+// succeed) identically. Callers pick the window from their source's
+// worst-case disorder (cmd/v6scan's -window flag).
+//
+// Internally the buffer reuses the run-merge machinery of SortByTime:
+// arrival order is tracked as maximal sorted runs, an in-order stream
+// (the common case) stays a single run and costs no sort work, and a
+// release merges only the runs that actually interleave.
+type WindowSort struct {
+	next   RecordSink
+	window time.Duration
+
+	buf []firewall.Record
+	// runs holds the start index of every non-first sorted run in buf
+	// (empty while the buffer is in arrival=timestamp order); bounds
+	// and scratch are reused merge workspace, as in DaySort.
+	runs    []int
+	bounds  []int
+	scratch []firewall.Record
+
+	// maxSeen is the stream-time high-water mark; minBuf the smallest
+	// buffered timestamp (valid while buf is non-empty).
+	maxSeen time.Time
+	minBuf  time.Time
+}
+
+// NewWindowSort returns a reorder stage releasing records once the
+// stream has advanced window past them. A non-positive window degrades
+// to a pass-through that still enforces non-decreasing output order.
+func NewWindowSort(window time.Duration, next RecordSink) *WindowSort {
+	if window < 0 {
+		window = 0
+	}
+	return &WindowSort{next: next, window: window}
+}
+
+// Consume implements RecordSink.
+func (w *WindowSort) Consume(r firewall.Record) error {
+	if err := w.admit(r); err != nil {
+		return err
+	}
+	return w.release()
+}
+
+// ConsumeBatch implements BatchSink. The whole batch is admitted
+// before one release pass, so a batch pays one merge regardless of
+// size; the emitted record sequence — and which records are rejected
+// as too late — is identical to the per-record path (both are pure
+// functions of the high-water mark).
+func (w *WindowSort) ConsumeBatch(recs []firewall.Record) error {
+	for i := range recs {
+		if err := w.admit(recs[i]); err != nil {
+			return err
+		}
+	}
+	return w.release()
+}
+
+// admit buffers one record (records are values, so the batch-ownership
+// rule is moot here — nothing aliases the caller's slice).
+func (w *WindowSort) admit(r firewall.Record) error {
+	// Lateness is judged against the high-water mark before this
+	// record (a record can never be late relative to itself). Anything
+	// trailing by ≤ window is by construction newer than everything
+	// released (releases stop at maxSeen − window), so accepted records
+	// always still fit the output order.
+	if !w.maxSeen.IsZero() && r.Time.Before(w.maxSeen.Add(-w.window)) {
+		return fmt.Errorf("pipeline: record at %v trails the stream high-water mark %v by %v, exceeding the %v reorder window; increase the window to at least the source's worst-case disorder",
+			r.Time, w.maxSeen, w.maxSeen.Sub(r.Time), w.window)
+	}
+	if n := len(w.buf); n > 0 && r.Time.Before(w.buf[n-1].Time) {
+		w.runs = append(w.runs, n)
+	}
+	if len(w.buf) == 0 || r.Time.Before(w.minBuf) {
+		w.minBuf = r.Time
+	}
+	w.buf = append(w.buf, r)
+	if r.Time.After(w.maxSeen) {
+		w.maxSeen = r.Time
+	}
+	return nil
+}
+
+// release emits every buffered record the high-water mark has advanced
+// window past, in stable timestamp order.
+func (w *WindowSort) release() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	horizon := w.maxSeen.Add(-w.window)
+	if w.minBuf.After(horizon) {
+		return nil // even the oldest buffered record is still in flight
+	}
+	w.sortBuf()
+	idx := sort.Search(len(w.buf), func(i int) bool { return w.buf[i].Time.After(horizon) })
+	if idx == 0 {
+		return nil
+	}
+	err := consumeBatch(w.next, w.buf[:idx])
+	// The retained tail is untouched by downstream compaction (which
+	// only writes within the emitted prefix). Reslice past the
+	// released prefix rather than sliding the tail down: the next
+	// growing append reallocates from the live tail alone, so memory
+	// stays O(window) while a release costs O(released) — a memmove
+	// here would make the steady-state per-record Consume path
+	// O(window) per record. runs is empty after sortBuf, so no stored
+	// index refers to the dropped prefix.
+	w.buf = w.buf[idx:]
+	if len(w.buf) > 0 {
+		w.minBuf = w.buf[0].Time
+	}
+	return err
+}
+
+// sortBuf merges the arrival runs so buf is in stable timestamp order.
+func (w *WindowSort) sortBuf() {
+	if len(w.runs) == 0 {
+		return
+	}
+	w.bounds = append(append(w.bounds[:0], 0), w.runs...)
+	w.bounds = append(w.bounds, len(w.buf))
+	mergeBounds(w.buf, w.bounds, &w.scratch)
+	w.runs = w.runs[:0]
+}
+
+// Flush drains every still-buffered record downstream in order.
+func (w *WindowSort) Flush() error {
+	if len(w.buf) > 0 {
+		w.sortBuf()
+		if err := consumeBatch(w.next, w.buf); err != nil {
+			return err
+		}
+		w.buf = w.buf[:0]
+	}
+	return w.next.Flush()
+}

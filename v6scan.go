@@ -43,9 +43,17 @@
 // Every built-in stage is batch-native, so a fully filtered pipeline
 // from a batching source (log, pcap, slice) into a batch-consuming
 // terminal streams batch-to-batch end to end; Pipeline.Batched reports
-// whether the fast path engaged. Arbitrary terminals plug in through
-// RunInto, which owns the sink lifecycle (Flush to finalize, Close to
-// release, typed Result accessors):
+// whether the fast path engaged. Ingestion is memory-bounded for
+// larger-than-RAM inputs: the log and pcap sources decode
+// incrementally through pooled chunk buffers, WindowSort repairs
+// bounded timestamp disorder in flight (full-sort-equivalent output
+// for window-bounded skew, buffering one window instead of a day),
+// and the builder's AdvanceEvery forwards a stream-time eviction
+// horizon to the detector/IDS terminals — sharded ones included — so
+// idle per-source state is released continuously instead of
+// accumulating until the end of input. Arbitrary terminals plug in
+// through RunInto, which owns the sink lifecycle (Flush to finalize,
+// Close to release, typed Result accessors):
 //
 //	sink := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, 8))
 //	sink.TickEvery = time.Minute
@@ -79,6 +87,7 @@ package v6scan
 
 import (
 	"io"
+	"time"
 
 	"v6scan/internal/analysis"
 	"v6scan/internal/artifacts"
@@ -253,6 +262,10 @@ type (
 	// DaySortStage buffers and sorts each UTC day of a per-actor
 	// ordered stream.
 	DaySortStage = pipeline.DaySort
+	// WindowSortStage is the bounded-lateness streaming reorder
+	// buffer: stable time order restored within a configurable skew
+	// window, memory bounded by the window instead of the day.
+	WindowSortStage = pipeline.WindowSort
 	// ArtifactStage runs the 5-duplicate pre-filter as a stage.
 	ArtifactStage = pipeline.ArtifactStage
 	// DetectorSink terminates a pipeline in the scan detector.
@@ -327,6 +340,13 @@ func NewPipelineCounter(next RecordSink) *PipelineCounter { return pipeline.NewC
 
 // Deprecated: use From(...).DaySort() or Chain().DaySort().Into(next).
 func NewDaySortStage(next RecordSink) *DaySortStage { return pipeline.NewDaySort(next) }
+
+// NewWindowSortStage returns the bounded-lateness streaming reorder
+// stage outside a builder chain; prefer From(...).WindowSort(window)
+// or Chain().WindowSort(window).Into(next).
+func NewWindowSortStage(window time.Duration, next RecordSink) *WindowSortStage {
+	return pipeline.NewWindowSort(window, next)
+}
 
 // Deprecated: use From(...).Artifact(f) or Chain().Artifact(f).Into(next).
 func NewArtifactStage(f *ArtifactFilter, next RecordSink) *ArtifactStage {
