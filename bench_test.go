@@ -9,6 +9,7 @@
 package v6scan
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -722,3 +723,87 @@ func benchmarkIDSSharded(b *testing.B, shards int) {
 
 func BenchmarkIDSSharded1(b *testing.B) { benchmarkIDSSharded(b, 1) }
 func BenchmarkIDSSharded4(b *testing.B) { benchmarkIDSSharded(b, 4) }
+
+// encodeBenchLog writes records to an in-memory binary log for the
+// ingest benchmarks.
+func encodeBenchLog(b *testing.B, recs []Record) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	w := WriteLog(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkParallelDecode measures the chunked parallel log decode at
+// 1, 4, and 8 workers against the same in-memory log — the tentpole's
+// raw-ingest number. workers=1 doubles as the serial-overhead check:
+// it should track BenchmarkLogSourceDecode-style serial decode within
+// noise (the extra cost is one goroutine handoff per batch).
+func BenchmarkParallelDecode(b *testing.B) {
+	recs := benchRecords(100_000)
+	data := encodeBenchLog(b, recs)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			allowParallelism(b, workers+2)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := NewParallelLogSource(bytes.NewReader(data), int64(len(data)), workers)
+				n := 0
+				err := src.EmitBatch(4096, func(rs []Record) error {
+					n += len(rs)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != len(recs) {
+					b.Fatalf("decoded %d records, want %d", n, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs)), "records/op")
+		})
+	}
+}
+
+// BenchmarkMergeSource measures the k-way loser-tree merge over four
+// chronologically split day-logs (serial decode per input, so the
+// number isolates merge cost rather than decode parallelism).
+func BenchmarkMergeSource(b *testing.B) {
+	recs := benchRecords(100_000)
+	const k = 4
+	parts := make([][]byte, k)
+	for i := range parts {
+		lo, hi := i*len(recs)/k, (i+1)*len(recs)/k
+		parts[i] = encodeBenchLog(b, recs[lo:hi])
+	}
+	allowParallelism(b, k+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcs := make([]RecordSource, k)
+		for j := range srcs {
+			srcs[j] = NewLogSource(bytes.NewReader(parts[j]))
+		}
+		n := 0
+		err := NewMergeSource(srcs...).EmitBatch(4096, func(rs []Record) error {
+			n += len(rs)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(recs) {
+			b.Fatalf("merged %d records, want %d", n, len(recs))
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}

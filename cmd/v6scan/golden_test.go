@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -186,6 +187,79 @@ func TestGoldenUnfiltered(t *testing.T) {
 	goldenCompare(t, filepath.Join("testdata", "golden_nofilter.txt"), got)
 	if filtered := runGolden(t, "-i", log, "-filter", "-shards", "4"); filtered == got {
 		t.Error("filtered and unfiltered outputs are identical; the fixture's artifact population is not exercising -filter")
+	}
+}
+
+// TestGoldenParallelDecode pins the tentpole's cmd-level parity: the
+// committed goldens must come out byte-identical at every
+// -decode-workers count (the no-flag runs above already exercise the
+// parallel path at its one-per-CPU default).
+func TestGoldenParallelDecode(t *testing.T) {
+	log := fixturePath(t)
+	base := runGolden(t, "-i", log, "-filter", "-shards", "1")
+	goldenCompare(t, filepath.Join("testdata", "golden_detect.txt"), base)
+	for _, w := range []string{"1", "2", "8"} {
+		if got := runGolden(t, "-i", log, "-filter", "-shards", "1", "-decode-workers", w); got != base {
+			t.Errorf("-decode-workers %s: output differs from baseline\n--- got ---\n%s\n--- want ---\n%s", w, got, base)
+		}
+	}
+}
+
+// splitFixture cuts the committed fixture into n chronologically
+// contiguous day-file-style logs at record boundaries.
+func splitFixture(t *testing.T, log string, n int) []string {
+	t.Helper()
+	data, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := len(data) / firewall.RecordWireSize
+	dir := t.TempDir()
+	paths := make([]string, n)
+	for i := range paths {
+		lo := i * records / n * firewall.RecordWireSize
+		hi := (i + 1) * records / n * firewall.RecordWireSize
+		if i == n-1 {
+			hi = len(data)
+		}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("day%d.log", i))
+		if err := os.WriteFile(paths[i], data[lo:hi], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+// TestGoldenMultiFile pins the k-way merged multi-file ingest: the
+// fixture split into three positional day-files must reproduce the
+// committed single-file goldens exactly, on the detector and IDS
+// paths, serial and sharded.
+func TestGoldenMultiFile(t *testing.T) {
+	log := fixturePath(t)
+	parts := splitFixture(t, log, 3)
+
+	base := runGolden(t, "-i", log, "-filter", "-shards", "4")
+	args := append([]string{"-filter", "-shards", "4", "-decode-workers", "2"}, parts...)
+	if got := runGolden(t, args...); got != base {
+		t.Errorf("merged 3-file run differs from single-file run\n--- got ---\n%s\n--- want ---\n%s", got, base)
+	}
+
+	baseIDS := runGolden(t, "-i", log, "-ids", "-shards", "1")
+	if got := runGolden(t, append([]string{"-ids", "-shards", "1"}, parts...)...); got != baseIDS {
+		t.Errorf("merged -ids run differs from single-file run\n--- got ---\n%s\n--- want ---\n%s", got, baseIDS)
+	}
+}
+
+// TestMultiFileRejectsStreams pins the CLI contract that only binary
+// log files can join a merge.
+func TestMultiFileRejectsStreams(t *testing.T) {
+	log := fixturePath(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{log, "capture.pcap"}, &stdout, &stderr); err == nil {
+		t.Error("merging a .pcap input did not error")
+	}
+	if err := run([]string{"-i", "-", log}, &stdout, &stderr); err == nil {
+		t.Error("merging stdin did not error")
 	}
 }
 

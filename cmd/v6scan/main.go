@@ -28,11 +28,21 @@
 // to its own tables). -advance-every overrides the engine's default
 // one-minute Tick cadence.
 //
+// Binary-log ingest is parallel: each log decodes in record-aligned
+// chunks across -decode-workers goroutines (default one per CPU), and
+// several log files given as positional arguments — day-logs,
+// typically — k-way merge into a single time-ordered stream, so a
+// month of logs is one run. Output is byte-identical to a serial
+// single-file run at any worker count. Stdin (-) and pcap inputs stay
+// single-input and serial-decode.
+//
 //	v6scan -i telescope.log                  # offline detector
 //	v6scan -i telescope.log -shards 8        # sharded detector
 //	v6scan -i capture.pcap -window 5s        # streaming pcap reorder
 //	v6scan -i telescope.log -advance-every 10m -shards 8
 //	v6scan -i telescope.log -ids -shards 8   # sharded inline IDS
+//	v6scan -shards 8 day1.log day2.log       # merged multi-day run
+//	v6scan -decode-workers 4 telescope.log   # bounded decode parallelism
 package main
 
 import (
@@ -77,7 +87,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("v6scan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		input    = fs.String("i", "", "input file (.log binary records or .pcap); - for stdin log")
+		input    = fs.String("i", "", "input file (.log binary records or .pcap); - for stdin log; additional log files may follow the flags as positional arguments and are merged in time order")
+		workers  = fs.Int("decode-workers", 0, "parallel decode workers for binary log files (0 = one per CPU; stdin and pcap decode serially)")
 		minDsts  = fs.Int("min-dsts", 100, "minimum distinct destinations per scan")
 		timeout  = fs.Duration("timeout", time.Hour, "maximum packet inter-arrival time")
 		levels   = fs.String("agg", "128,64,48", "comma-separated aggregation prefix lengths")
@@ -94,8 +105,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return errUsage // the FlagSet already printed the diagnostic
 	}
-	if *input == "" {
-		fmt.Fprintln(stderr, "v6scan: missing -i input")
+	inputs := fs.Args()
+	if *input != "" {
+		inputs = append([]string{*input}, inputs...)
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(stderr, "v6scan: missing input (-i file, or log files as arguments)")
 		fs.Usage()
 		return errUsage
 	}
@@ -116,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Levels = append(cfg.Levels, lvl)
 	}
 
-	b, reportSkipped, closer, err := openSource(*input, *window, stderr)
+	b, reportSkipped, closer, err := openSource(inputs, *window, *workers, stderr)
 	if err != nil {
 		return err
 	}
@@ -229,22 +244,46 @@ func runIDS(b *v6scan.Builder, stdout io.Writer, det v6scan.DetectorConfig, shar
 	return nil
 }
 
-// openSource starts a pipeline builder for the input path. Binary logs
-// stream directly (they are written in time order); window > 0 adds
-// the bounded-lateness reorder buffer for logs with interleave (e.g.
-// multi-writer merges). Pcap captures
-// stream through the bounded-lateness reorder buffer when window > 0 —
-// peak memory is one window of records, and output is identical to a
-// full sort as long as capture disorder stays within the window
-// (records later than that abort the run; rerun with a larger
-// -window). window = 0 falls back to decoding the whole capture into
-// memory and repairing order with the run-aware sort. The returned
-// report func, when non-nil, reports undecodable-packet counts to
-// stderr after the run (streaming decode only knows them at the end);
-// the returned closer, when non-nil, is the opened input file the
-// caller must close after the run (run() is a reusable seam — the
-// golden tests call it repeatedly in one process).
-func openSource(path string, window time.Duration, stderr io.Writer) (b *v6scan.Builder, report func(), closer io.Closer, err error) {
+// openSource starts a pipeline builder for the input paths. Regular
+// binary log files — one or several — ingest through the parallel
+// multi-file path (FromFiles): each file decodes in record-aligned
+// chunks across the worker budget, several files merge in time order,
+// and the files are opened and closed by the source itself; window > 0
+// adds the bounded-lateness reorder buffer for logs with interleave
+// (e.g. multi-writer merges). A stdin log (-) decodes serially — the
+// chunked decoder needs random access. Pcap captures stream through
+// the bounded-lateness reorder buffer when window > 0 — peak memory is
+// one window of records, and output is identical to a full sort as
+// long as capture disorder stays within the window (records later than
+// that abort the run; rerun with a larger -window). window = 0 falls
+// back to decoding the whole capture into memory and repairing order
+// with the run-aware sort. The returned report func, when non-nil,
+// reports undecodable-packet counts to stderr after the run (streaming
+// decode only knows them at the end); the returned closer, when
+// non-nil, is the opened input file the caller must close after the
+// run (run() is a reusable seam — the golden tests call it repeatedly
+// in one process).
+func openSource(inputs []string, window time.Duration, workers int, stderr io.Writer) (b *v6scan.Builder, report func(), closer io.Closer, err error) {
+	if len(inputs) > 1 {
+		for _, p := range inputs {
+			if p == "-" || strings.HasSuffix(p, ".pcap") {
+				return nil, nil, nil, fmt.Errorf("multi-file ingest merges binary log files only; %q cannot join a merge", p)
+			}
+		}
+	}
+	path := inputs[0]
+	switch {
+	case path == "-" || strings.HasSuffix(path, ".pcap"):
+		// Single stream input: serial decode paths below.
+	default:
+		b := v6scan.FromFiles(inputs...).DecodeWorkers(workers)
+		if window > 0 {
+			// Logs are written in time order, but multi-writer merges
+			// can interleave; the same bounded reorder repair applies.
+			b.WindowSort(window)
+		}
+		return b, nil, nil, nil
+	}
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin
@@ -259,8 +298,6 @@ func openSource(path string, window time.Duration, stderr io.Writer) (b *v6scan.
 	if !strings.HasSuffix(path, ".pcap") {
 		b := v6scan.From(v6scan.NewLogSource(r))
 		if window > 0 {
-			// Logs are written in time order, but multi-writer merges
-			// can interleave; the same bounded reorder repair applies.
 			b.WindowSort(window)
 		}
 		return b, nil, closer, nil

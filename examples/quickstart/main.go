@@ -2,7 +2,9 @@
 // pipeline into the scan detector and print the detected scans at each
 // aggregation level. This is the minimal end-to-end use of the public
 // API: a record source, a left-to-right builder chain, one terminal
-// call.
+// call — first from an in-memory slice, then re-ingested from two
+// day-log files through the parallel multi-file path (FromFiles),
+// which produces identical results.
 package main
 
 import (
@@ -10,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"net/netip"
+	"os"
+	"path/filepath"
 	"time"
 
 	"v6scan"
@@ -63,6 +67,48 @@ func main() {
 				s.Source, s.Packets, s.Dsts, s.NumPorts(), s.Duration(), s.Class())
 		}
 	}
+
+	// Multi-file ingest: real deployments read day-logs, not slices.
+	// Split the same stream across two binary log files and run the
+	// identical chain with FromFiles — each file decodes in parallel
+	// record-aligned chunks (DecodeWorkers caps the pool) and the files
+	// k-way merge back into one time-ordered stream, so the detector
+	// sees exactly the stream the slice run saw.
+	dir, err := os.MkdirTemp("", "quickstart-logs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	paths := []string{filepath.Join(dir, "day1.log"), filepath.Join(dir, "day2.log")}
+	for i, path := range paths {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := v6scan.WriteLog(f)
+		lo, hi := i*len(recs)/2, (i+1)*len(recs)/2
+		for _, r := range recs[lo:hi] {
+			if err := w.Write(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	det2, err := v6scan.FromFiles(paths...).
+		DecodeWorkers(4).
+		Policy(v6scan.DefaultCollectPolicy()).
+		AdvanceEvery(time.Minute).
+		Detect(context.Background(), v6scan.DefaultDetectorConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— multi-file re-ingest: %d scans at %s (same as above) —\n",
+		len(det2.Scans(v6scan.Agg128)), v6scan.Agg128)
 }
 
 // addrPlus returns base + n (IID arithmetic).

@@ -1,0 +1,178 @@
+package firewall
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestPlanChunksInvariants checks the planner's contract over a grid
+// of sizes and worker counts: chunks are contiguous from offset 0,
+// cover the size exactly, every chunk but the last is record-aligned,
+// and record counts are near-even.
+func TestPlanChunksInvariants(t *testing.T) {
+	sizes := []int64{0, 1, 46, 47, 48, 94, 47 * 7, 47*1000 + 13, 47 * 4096}
+	for _, size := range sizes {
+		for _, n := range []int{1, 2, 3, 8, 100} {
+			chunks := PlanChunks(size, n)
+			if size <= 0 {
+				if chunks != nil {
+					t.Fatalf("size=%d n=%d: want nil plan, got %v", size, n, chunks)
+				}
+				continue
+			}
+			if len(chunks) == 0 || len(chunks) > n {
+				t.Fatalf("size=%d n=%d: %d chunks", size, n, len(chunks))
+			}
+			var off int64
+			for i, c := range chunks {
+				if c.Offset != off {
+					t.Fatalf("size=%d n=%d: chunk %d offset %d, want %d", size, n, i, c.Offset, off)
+				}
+				if c.Length <= 0 {
+					t.Fatalf("size=%d n=%d: chunk %d empty", size, n, i)
+				}
+				if i < len(chunks)-1 && c.Length%RecordWireSize != 0 {
+					t.Fatalf("size=%d n=%d: non-final chunk %d unaligned (%d bytes)", size, n, i, c.Length)
+				}
+				off += c.Length
+			}
+			if off != size {
+				t.Fatalf("size=%d n=%d: plan covers %d bytes", size, n, off)
+			}
+			// Near-even: no chunk holds more than ceil(records/n) records.
+			records := size / RecordWireSize
+			per := (records + int64(n) - 1) / int64(n)
+			for i, c := range chunks {
+				if records > 0 && int64(c.Records()) > per {
+					t.Fatalf("size=%d n=%d: chunk %d holds %d records, cap %d", size, n, i, c.Records(), per)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeChunksMatchSerial decodes a log chunk-by-chunk and checks
+// the concatenation equals the serial NextBatch decode, including for
+// a truncated log where the final chunk must reproduce the serial
+// trailing-bytes error text.
+func TestDecodeChunksMatchSerial(t *testing.T) {
+	data, want := encodeRecords(t, 333)
+	for _, cut := range []int{0, 13} { // clean log and truncated tail
+		data := data[:len(data)-cut]
+		want := want[:len(data)/RecordWireSize] // complete records only
+		for _, n := range []int{1, 2, 5, 8} {
+			var got []Record
+			var gotErr error
+			for _, c := range PlanChunks(int64(len(data)), n) {
+				recs, err := DecodeChunk(data[c.Offset:c.Offset+c.Length], nil)
+				got = append(got, recs...)
+				if err != nil {
+					gotErr = err
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cut=%d n=%d: decoded %d records, want %d", cut, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cut=%d n=%d: record %d mismatch", cut, n, i)
+				}
+			}
+			// The chunked error must be byte-identical to the serial one.
+			rd := NewReader(bytes.NewReader(data))
+			var serialErr error
+			for {
+				_, err := rd.NextBatch(nil, 64)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					serialErr = err
+					break
+				}
+			}
+			if (gotErr == nil) != (serialErr == nil) {
+				t.Fatalf("cut=%d n=%d: chunked err %v, serial err %v", cut, n, gotErr, serialErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != serialErr.Error() {
+					t.Fatalf("cut=%d n=%d: chunked err %q, serial err %q", cut, n, gotErr, serialErr)
+				}
+				if !errors.Is(gotErr, ErrShortRecord) {
+					t.Fatalf("cut=%d n=%d: err %v not ErrShortRecord", cut, n, gotErr)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeChunkSubRecord covers the degenerate plan for a log
+// shorter than one record: a single chunk whose decode yields zero
+// records and the trailing-bytes error.
+func TestDecodeChunkSubRecord(t *testing.T) {
+	chunks := PlanChunks(20, 4)
+	if len(chunks) != 1 || chunks[0].Length != 20 {
+		t.Fatalf("plan = %v, want one 20-byte chunk", chunks)
+	}
+	recs, err := DecodeChunk(make([]byte, 20), nil)
+	if len(recs) != 0 || !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("got %d records, err %v", len(recs), err)
+	}
+}
+
+// TestNextBatchBulkRightSizing pins the fix for the bulk buffer being
+// pinned at the largest batch ever requested: when a caller settles
+// into much smaller batches the reader re-allocates a right-sized
+// buffer, while buffers at or below the retain floor are kept to avoid
+// thrash.
+func TestNextBatchBulkRightSizing(t *testing.T) {
+	data, want := encodeRecords(t, 600)
+	rd := NewReader(bytes.NewReader(data))
+	recs, err := rd.NextBatch(make([]Record, 0, 512), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]Record(nil), recs...)
+	if cap(rd.bulk) != 512*recordWireSize {
+		t.Fatalf("after 512-record batch: bulk cap %d, want %d", cap(rd.bulk), 512*recordWireSize)
+	}
+
+	// Dropping to 8-record batches right-sizes the buffer on the next
+	// call, and decoding stays correct across the re-allocation.
+	for {
+		recs, err := rd.NextBatch(nil, 8)
+		got = append(got, recs...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cap(rd.bulk) != 8*recordWireSize {
+		t.Fatalf("after 8-record batches: bulk cap %d, want %d", cap(rd.bulk), 8*recordWireSize)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records across the resize, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch after resize", i)
+		}
+	}
+
+	// Below the retain floor the buffer is kept even when the request
+	// shrinks further: 64 records is exactly the floor.
+	rd2 := NewReader(bytes.NewReader(data))
+	if _, err := rd2.NextBatch(nil, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd2.NextBatch(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cap(rd2.bulk) != 64*recordWireSize {
+		t.Fatalf("sub-floor buffer was resized: cap %d, want %d", cap(rd2.bulk), 64*recordWireSize)
+	}
+}

@@ -103,6 +103,11 @@ func (p CollectPolicy) Admit(r Record) bool {
 // recordWireSize is the fixed encoded size of a Record.
 const recordWireSize = 8 + 16 + 16 + 1 + 2 + 2 + 2 // 47
 
+// RecordWireSize is the fixed encoded size of a Record in a binary
+// log: the alignment unit for chunked decoding (PlanChunks) and for
+// splitting log files at record boundaries.
+const RecordWireSize = recordWireSize
+
 // Errors returned by the codec.
 var (
 	ErrShortRecord = errors.New("firewall: short record")
@@ -224,18 +229,17 @@ func (rd *Reader) NextBatch(dst []Record, max int) ([]Record, error) {
 		return dst, nil
 	}
 	need := max * recordWireSize
-	if cap(rd.bulk) < need {
+	// Grow on demand, but also re-allocate smaller once the requested
+	// batch drops well below the buffer: without the second arm, one
+	// huge batch request pins its buffer for the reader's lifetime. The
+	// floor keeps small-batch callers from thrashing allocations.
+	if cap(rd.bulk) < need ||
+		(cap(rd.bulk) >= bulkShrinkFactor*need && cap(rd.bulk) > bulkRetainBytes) {
 		rd.bulk = make([]byte, need)
 	}
 	buf := rd.bulk[:need]
 	n, err := io.ReadFull(rd.r, buf)
-	complete := n / recordWireSize
-	for i := 0; i < complete; i++ {
-		var r Record
-		// Length is fixed and pre-checked, so DecodeBinary cannot fail.
-		r.DecodeBinary(buf[i*recordWireSize : (i+1)*recordWireSize])
-		dst = append(dst, r)
-	}
+	dst = appendDecoded(dst, buf[:n-n%recordWireSize])
 	switch err {
 	case nil:
 		return dst, nil
@@ -250,4 +254,84 @@ func (rd *Reader) NextBatch(dst []Record, max int) ([]Record, error) {
 	default:
 		return dst, err
 	}
+}
+
+// Bulk-buffer right-sizing policy: shrink when the buffer is at least
+// bulkShrinkFactor times the current need, but never below
+// bulkRetainBytes (small buffers are cheap to keep and expensive to
+// thrash).
+const (
+	bulkShrinkFactor = 4
+	bulkRetainBytes  = 64 * recordWireSize
+)
+
+// appendDecoded bulk-decodes the record-aligned buf into dst. It is
+// the shared decode loop of NextBatch and DecodeChunk; buf's length
+// must be a multiple of recordWireSize.
+func appendDecoded(dst []Record, buf []byte) []Record {
+	for i := 0; i+recordWireSize <= len(buf); i += recordWireSize {
+		var r Record
+		// Length is fixed and pre-checked, so DecodeBinary cannot fail.
+		r.DecodeBinary(buf[i : i+recordWireSize])
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// Chunk is a contiguous byte range of a binary log, planned by
+// PlanChunks for one decode worker.
+type Chunk struct {
+	Offset int64
+	Length int64
+}
+
+// Records returns the number of complete records in the chunk.
+func (c Chunk) Records() int { return int(c.Length / recordWireSize) }
+
+// PlanChunks splits a log of size bytes into at most n contiguous
+// record-aligned chunks covering [0, size) exactly. Records are spread
+// near-evenly (every chunk but the last holds ceil(records/n) whole
+// records), so the plan is deterministic for a given (size, n). Any
+// trailing partial-record bytes ride the last chunk, where DecodeChunk
+// reproduces the serial reader's ErrShortRecord diagnostic. A size
+// smaller than one record yields a single chunk holding just those
+// trailing bytes; a non-positive size yields no chunks.
+func PlanChunks(size int64, n int) []Chunk {
+	if size <= 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	records := size / recordWireSize
+	per := (records + int64(n) - 1) / int64(n) // records per chunk, ≥ 0
+	if per == 0 {
+		// Fewer bytes than one record: a single trailing-bytes chunk.
+		return []Chunk{{Offset: 0, Length: size}}
+	}
+	chunks := make([]Chunk, 0, (records+per-1)/per)
+	for off := int64(0); off < records*recordWireSize; off += per * recordWireSize {
+		length := per * recordWireSize
+		if rest := records*recordWireSize - off; length > rest {
+			length = rest
+		}
+		chunks = append(chunks, Chunk{Offset: off, Length: length})
+	}
+	chunks[len(chunks)-1].Length += size - records*recordWireSize
+	return chunks
+}
+
+// DecodeChunk bulk-decodes every complete record in buf, appending to
+// dst (normally len 0, cap ≥ len(buf)/RecordWireSize, so the call does
+// not allocate). Trailing bytes that do not form a whole record yield
+// the same "trailing N bytes" ErrShortRecord the serial reader
+// reports, with the decoded records still returned — so a chunked
+// decode of a truncated log fails with a byte-identical error to
+// Reader.NextBatch.
+func DecodeChunk(buf []byte, dst []Record) ([]Record, error) {
+	dst = appendDecoded(dst, buf)
+	if rem := len(buf) % recordWireSize; rem != 0 {
+		return dst, fmt.Errorf("%w: trailing %d bytes", ErrShortRecord, rem)
+	}
+	return dst, nil
 }

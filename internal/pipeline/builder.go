@@ -50,6 +50,31 @@ type Builder struct {
 // From starts a builder reading from src.
 func From(src Source) *Builder { return &Builder{src: src} }
 
+// FromFiles starts a builder ingesting one or more binary firewall
+// log files: each file decodes in parallel chunks (see DecodeWorkers)
+// and multiple files — day-logs, typically — merge into one
+// time-ordered stream. Files are opened when the pipeline runs, so an
+// unreadable path surfaces as the run error rather than breaking the
+// fluent chain:
+//
+//	det, err := pipeline.FromFiles("day1.log", "day2.log").
+//		DecodeWorkers(8).
+//		Artifact().
+//		Detect(ctx, core.DefaultConfig(), 8)
+func FromFiles(paths ...string) *Builder { return From(NewFilesSource(paths...)) }
+
+// DecodeWorkers sets the decode worker count on sources that shard
+// their decode — the FromFiles source, a ParallelLogSource, or a
+// MergeSource over them (which forwards the setting to its inputs).
+// Non-positive (and the default) means one worker per CPU; sources
+// without a parallel decode ignore the option.
+func (b *Builder) DecodeWorkers(n int) *Builder {
+	if s, ok := b.src.(interface{ SetDecodeWorkers(int) }); ok {
+		s.SetDecodeWorkers(n)
+	}
+	return b
+}
+
 // Chain starts a source-less builder: a stage chain terminated with
 // Into, for composing the sink side of a pipeline (simulation taps,
 // Tee branches) with the same left-to-right syntax.

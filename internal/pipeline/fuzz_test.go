@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"v6scan/internal/firewall"
+)
+
+// fuzzSeedLogs returns representative corpus seeds: a clean multi-
+// record log, truncations at interesting offsets, and junk.
+func fuzzSeedLogs() [][]byte {
+	var buf bytes.Buffer
+	w := firewall.NewWriter(&buf)
+	for _, r := range streamParityRecords(200, 0) {
+		w.Write(r)
+	}
+	w.Flush()
+	clean := buf.Bytes()
+	return [][]byte{
+		nil,
+		clean,
+		clean[:len(clean)-1],
+		clean[:firewall.RecordWireSize-1],
+		clean[:firewall.RecordWireSize*3+17],
+		bytes.Repeat([]byte{0xab}, 200),
+	}
+}
+
+// FuzzParallelDecode differentially fuzzes the chunked decode path:
+// for arbitrary log bytes and an arbitrary worker count, the
+// ParallelLogSource must produce exactly the serial LogSource's record
+// sequence and error class — including the trailing-bytes
+// ErrShortRecord text on torn logs. It also checks the chunk planner's
+// coverage invariants on every input.
+func FuzzParallelDecode(f *testing.F) {
+	for _, seed := range fuzzSeedLogs() {
+		f.Add(seed, uint8(3))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, workerSeed uint8) {
+		workers := int(workerSeed%8) + 1
+
+		chunks := firewall.PlanChunks(int64(len(data)), workers)
+		var off int64
+		for i, c := range chunks {
+			if c.Offset != off || c.Length <= 0 {
+				t.Fatalf("chunk %d = %+v, want contiguous from %d", i, c, off)
+			}
+			if i < len(chunks)-1 && c.Length%firewall.RecordWireSize != 0 {
+				t.Fatalf("non-final chunk %d unaligned: %d bytes", i, c.Length)
+			}
+			off += c.Length
+		}
+		if off != int64(len(data)) {
+			t.Fatalf("plan covers %d of %d bytes", off, len(data))
+		}
+
+		const batchSize = 64
+		var want []firewall.Record
+		wantErr := NewLogSource(bytes.NewReader(data)).EmitBatch(batchSize, collectBatches(&want))
+
+		var got []firewall.Record
+		src := NewParallelLogSource(bytes.NewReader(data), int64(len(data)), workers)
+		gotErr := src.EmitBatch(batchSize, collectBatches(&got))
+
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("workers=%d: parallel err %v, serial err %v", workers, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("workers=%d: parallel err %q, serial err %q", workers, gotErr, wantErr)
+			}
+			if errors.Is(wantErr, firewall.ErrShortRecord) != errors.Is(gotErr, firewall.ErrShortRecord) {
+				t.Fatalf("workers=%d: error class diverges: %v vs %v", workers, gotErr, wantErr)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d records, serial %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: record %d differs from serial decode", workers, i)
+			}
+		}
+	})
+}

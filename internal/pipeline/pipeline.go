@@ -61,6 +61,25 @@
 // any time (they contain no producer-owned pointers); only the slice
 // is loaned.
 //
+// The concurrent sources keep the rule intact across goroutines:
+//
+//   - ParallelLogSource decodes each file chunk into its own pooled
+//     batch on a worker goroutine, but ownership transfers with the
+//     reassembly — the emitting goroutine (the EmitBatch caller's)
+//     loans each batch downstream in file order and recycles it to the
+//     arena only after emit returns, so consumers see the standard
+//     single-threaded loan and no worker ever touches a batch that is
+//     downstream. Unlike the serial sources it cycles through a window
+//     of pooled buffers rather than refilling one, which changes
+//     nothing for a contract-abiding consumer.
+//   - MergeSource never forwards an input's batch at all: each input
+//     source stays parked inside its own emit — holding its loan —
+//     until the merger has drained the batch, and merged record values
+//     are copied into the merger's own pooled output batches. The
+//     batches a MergeSource emits are therefore fresh loans under the
+//     standard rule, and downstream compaction cannot reach back into
+//     any input source's buffer.
+//
 // # Streaming reorder and lateness
 //
 // WindowSort extends the ownership rule across buffering: it copies

@@ -116,7 +116,10 @@ type PcapSource struct {
 // NewPcapSource returns a source decoding the pcap stream r.
 func NewPcapSource(r io.Reader) *PcapSource { return &PcapSource{r: r} }
 
-// Skipped reports how many packets failed to decode; valid after Emit.
+// Skipped reports how many packets failed to decode. It is valid
+// after Emit and after EmitBatch alike — both paths count every
+// undecodable packet as they pass it — and, the run having finished,
+// on whichever of the two drove the pipeline.
 func (s *PcapSource) Skipped() int { return s.skipped }
 
 // Emit implements Source.

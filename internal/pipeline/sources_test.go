@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"v6scan/internal/firewall"
+	"v6scan/internal/layers"
+	"v6scan/internal/pcap"
+)
+
+// TestPcapSkippedAfterEmitBatch pins the documented contract that
+// Skipped is valid after the batch path, not just Emit: undecodable
+// packets interleaved with good frames are counted while the decoded
+// records still flow.
+func TestPcapSkippedAfterEmitBatch(t *testing.T) {
+	recs := streamParityRecords(10, 0)
+	var capture bytes.Buffer
+	pw := pcap.NewWriter(&capture, pcap.WriterOptions{Nanosecond: true})
+	junkAt := map[int]bool{0: true, 4: true, 9: true}
+	for i, r := range recs {
+		if junkAt[i] {
+			// Too short to hold an Ethernet + IPv6 header: undecodable.
+			if err := pw.WritePacket(r.Time.Add(-time.Millisecond), []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frame, err := layers.BuildTCPSYN(r.Src, r.Dst, r.SrcPort, r.DstPort,
+			layers.BuildOptions{Link: layers.LinkTypeEthernet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pw.WritePacket(r.Time, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batchSize := range []int{1, 3, DefaultBatchSize} {
+		src := NewPcapSource(bytes.NewReader(capture.Bytes()))
+		decoded := 0
+		if err := src.EmitBatch(batchSize, func(part []firewall.Record) error {
+			decoded += len(part)
+			return nil
+		}); err != nil {
+			t.Fatalf("batch=%d: %v", batchSize, err)
+		}
+		if decoded != len(recs) {
+			t.Fatalf("batch=%d: decoded %d records, want %d", batchSize, decoded, len(recs))
+		}
+		if got := src.Skipped(); got != len(junkAt) {
+			t.Fatalf("batch=%d: Skipped() = %d after EmitBatch, want %d", batchSize, got, len(junkAt))
+		}
+	}
+}

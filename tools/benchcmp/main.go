@@ -1,15 +1,17 @@
 // benchcmp compares two benchmark result files (the `go test -json
 // -bench ... -benchmem` output the CI bench smoke uploads as
-// bench.json) and prints a benchstat-style table, emitting GitHub
-// Actions warning annotations for every benchmark whose ns/op or
-// allocs/op regressed by more than 10%.
+// bench.json) and prints a benchstat-style table, annotating every
+// benchmark whose ns/op or allocs/op regressed by more than 10%.
 //
 //	go run ./tools/benchcmp old-bench.json new-bench.json
 //
-// It always exits 0: the smoke benchmarks run one iteration on shared
-// CI runners, so deltas are advisory — the annotations flag a PR for
-// a human (or a longer local run) to judge, they do not gate merges.
-// Missing or unparsable baselines are reported and skipped.
+// The two metrics gate differently. allocs/op is deterministic even on
+// a one-iteration smoke run on a shared 1-CPU runner, so an allocs/op
+// regression is a failing check: it emits a ::error:: annotation and
+// the tool exits 1. ns/op on the same runner is noise-dominated, so
+// timing regressions stay advisory ::warning:: annotations for a human
+// (or a longer local run) to judge, and never affect the exit code.
+// Missing or unparsable baselines are reported and skipped (exit 0).
 package main
 
 import (
@@ -145,7 +147,7 @@ func main() {
 	sort.Strings(names)
 
 	const threshold = 10.0 // percent
-	warned := 0
+	warned, failed := 0, 0
 	fmt.Printf("%-55s %14s %14s %9s %12s %12s %9s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
 	for _, name := range names {
@@ -166,9 +168,9 @@ func main() {
 			warned++
 		}
 		if o.hasAllocs && n.hasAllocs && dal > threshold {
-			fmt.Printf("::warning title=allocation regression::%s allocs/op %s vs main (%s → %s)\n",
+			fmt.Printf("::error title=allocation regression::%s allocs/op %s vs main (%s → %s); allocs/op is deterministic — this gates the check\n",
 				name, dalStr, allocsOld, allocsNew)
-			warned++
+			failed++
 		}
 	}
 	for name := range cur {
@@ -176,7 +178,11 @@ func main() {
 			fmt.Printf("%-55s (new benchmark, no baseline)\n", name)
 		}
 	}
-	if warned == 0 {
+	if warned == 0 && failed == 0 {
 		fmt.Println("no >10% regressions vs main")
+	}
+	if failed > 0 {
+		fmt.Printf("benchcmp: %d allocs/op regression(s) vs main — failing\n", failed)
+		os.Exit(1)
 	}
 }

@@ -40,6 +40,16 @@
 //	    fmt.Println(scan.Source, scan.Packets, scan.Dsts)
 //	}
 //
+// Multi-day workloads ingest through FromFiles: every log decodes in
+// parallel record-aligned chunks and the files k-way merge into one
+// time-ordered stream, byte-identical to a serial read of their
+// concatenation:
+//
+//	det, err := v6scan.FromFiles("day1.log", "day2.log").
+//	    DecodeWorkers(8).
+//	    Artifact().
+//	    Detect(ctx, v6scan.DefaultDetectorConfig(), 8)
+//
 // Every built-in stage is batch-native, so a fully filtered pipeline
 // from a batching source (log, pcap, slice) into a batch-consuming
 // terminal streams batch-to-batch end to end; Pipeline.Batched reports
@@ -254,6 +264,16 @@ type (
 	SliceSource = pipeline.SliceSource
 	// LogSource streams records from a binary firewall log.
 	LogSource = pipeline.LogSource
+	// ParallelLogSource decodes a binary firewall log in parallel
+	// record-aligned chunks, reassembled in file order — output is
+	// byte-identical to LogSource at any worker count.
+	ParallelLogSource = pipeline.ParallelLogSource
+	// MergeSource k-way merges time-ordered sources (one per day-file)
+	// into one time-ordered stream.
+	MergeSource = pipeline.MergeSource
+	// FilesSource ingests one or more binary log files with parallel
+	// decode, merged in timestamp order; see FromFiles.
+	FilesSource = pipeline.FilesSource
 	// PcapSource streams decoded IPv6 frames from a classic pcap
 	// capture.
 	PcapSource = pipeline.PcapSource
@@ -292,6 +312,22 @@ type (
 // (Detect, IDS, MAWI).
 func From(src RecordSource) *Builder { return pipeline.From(src) }
 
+// FromFiles starts a builder ingesting one or more binary firewall
+// log files: each file decodes in parallel record-aligned chunks
+// (tune with DecodeWorkers), and multiple files — day-logs, typically
+// — k-way merge into a single time-ordered stream, so a month of logs
+// is one pipeline run:
+//
+//	det, err := v6scan.FromFiles("day1.log", "day2.log").
+//	    DecodeWorkers(8).
+//	    Artifact().
+//	    Detect(ctx, v6scan.DefaultDetectorConfig(), 8)
+//
+// Files are opened when the pipeline runs, so an unreadable path
+// surfaces as the run error. Output is byte-identical to reading the
+// concatenation of the files through a serial LogSource.
+func FromFiles(paths ...string) *Builder { return pipeline.FromFiles(paths...) }
+
 // Chain starts a source-less stage chain terminated with Into — for
 // composing the sink side of a pipeline (simulation taps, Tee
 // branches) with the same left-to-right syntax.
@@ -315,6 +351,24 @@ func NewShardedDetector(cfg DetectorConfig, n int) *ShardedDetector {
 func NewLogSource(r io.Reader) *LogSource      { return pipeline.NewLogSource(r) }
 func NewPcapSource(r io.Reader) *PcapSource    { return pipeline.NewPcapSource(r) }
 func NewSliceSource(recs []Record) SliceSource { return SliceSource(recs) }
+
+// NewParallelLogSource returns a source decoding the byte range
+// [0, size) of r across workers decode goroutines (non-positive means
+// one per CPU); records come out in file order, byte-identical to the
+// serial LogSource. FromFiles wires this up from paths directly.
+func NewParallelLogSource(r io.ReaderAt, size int64, workers int) *ParallelLogSource {
+	return pipeline.NewParallelLogSource(r, size, workers)
+}
+
+// NewMergeSource returns a source k-way merging time-ordered sources
+// into one time-ordered stream; ties break toward the earlier source,
+// so chronologically split day-files merge back to their
+// concatenation.
+func NewMergeSource(srcs ...RecordSource) *MergeSource { return pipeline.NewMergeSource(srcs...) }
+
+// NewFilesSource returns the lazy multi-file log source FromFiles
+// builds on.
+func NewFilesSource(paths ...string) *FilesSource { return pipeline.NewFilesSource(paths...) }
 
 // Nested stage constructors, superseded by the builder (see the
 // package-doc migration table). Each remains a thin wrapper over the
