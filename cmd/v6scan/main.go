@@ -36,6 +36,16 @@
 // single-file run at any worker count. Stdin (-) and pcap inputs stay
 // single-input and serial-decode.
 //
+// Long runs survive interruption with -checkpoint-dir: the terminal's
+// state is snapshotted every -checkpoint-every of stream time, at cuts
+// aligned with the eviction cadence, into versioned checksummed files.
+// Rerunning with -resume restores the latest snapshot (re-partitioned
+// to the current -shards, which may differ from the interrupted run's)
+// and replays the same input with the already-processed prefix
+// skipped; output is byte-identical to the uninterrupted run. The
+// detection parameters (-min-dsts, -timeout, -agg) travel inside the
+// snapshot, so the resumed run uses the interrupted run's.
+//
 //	v6scan -i telescope.log                  # offline detector
 //	v6scan -i telescope.log -shards 8        # sharded detector
 //	v6scan -i capture.pcap -window 5s        # streaming pcap reorder
@@ -43,6 +53,8 @@
 //	v6scan -i telescope.log -ids -shards 8   # sharded inline IDS
 //	v6scan -shards 8 day1.log day2.log       # merged multi-day run
 //	v6scan -decode-workers 4 telescope.log   # bounded decode parallelism
+//	v6scan -checkpoint-dir ck day*.log       # snapshot hourly
+//	v6scan -checkpoint-dir ck -resume day*.log  # pick up after a crash
 package main
 
 import (
@@ -98,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		useIDS   = fs.Bool("ids", false, "run the inline dynamic-aggregation IDS instead of the offline detector")
 		window   = fs.Duration("window", 0, "repair at most this much timestamp disorder in flight through a reorder buffer bounded to one window of records; for pcap, 0 materializes the capture and sorts it instead (tolerating any disorder), for logs 0 streams as-is (logs are written in order)")
 		advEvery = fs.Duration("advance-every", 0, "stream-time eviction cadence: periodically close idle detector sessions / tick the IDS, bounding memory (0 = only at end of input)")
+		ckptDir  = fs.String("checkpoint-dir", "", "write versioned snapshots of detector/IDS state into this directory on the -checkpoint-every cadence; with -resume, also where the snapshot to restore is found")
+		ckptEv   = fs.Duration("checkpoint-every", time.Hour, "stream-time cadence between checkpoints (needs -checkpoint-dir)")
+		resume   = fs.Bool("resume", false, "restore the latest checkpoint in -checkpoint-dir and skip the already-processed input prefix")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -131,6 +146,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Levels = append(cfg.Levels, lvl)
 	}
 
+	if *ckptDir != "" && *ckptEv <= 0 {
+		return fmt.Errorf("-checkpoint-dir needs a positive -checkpoint-every")
+	}
+	var resumed *v6scan.ResumedSink
+	if *resume {
+		if *ckptDir == "" {
+			return fmt.Errorf("-resume needs -checkpoint-dir")
+		}
+		path, err := v6scan.LatestCheckpoint(*ckptDir)
+		if err != nil {
+			return err
+		}
+		if path == "" {
+			fmt.Fprintln(stderr, "v6scan: no checkpoint to resume from; starting fresh")
+		} else if resumed, err = v6scan.ResumeCheckpoint(path, *shards); err != nil {
+			return fmt.Errorf("resuming %s: %w", path, err)
+		}
+	}
+
 	b, reportSkipped, closer, err := openSource(inputs, *window, *workers, stderr)
 	if err != nil {
 		return err
@@ -141,8 +175,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *advEvery > 0 {
 		b.AdvanceEvery(*advEvery)
 	}
+	if *ckptDir != "" {
+		b.CheckpointEvery(*ckptEv, *ckptDir)
+	}
 	if *filter {
 		b.Artifact()
+	}
+	// On resume the whole input replays — stateful stages (the artifact
+	// filter) rebuild their state from the full stream — and only the
+	// terminal's view is cut, skipping the prefix the snapshot already
+	// covers. The skip precedes the counter so "processed" reports what
+	// detection actually consumed this run.
+	if resumed != nil {
+		b.ResumeFrom(resumed.Horizon)
 	}
 	// The counter sits past the filter so "processed" reports what
 	// detection actually consumed. The counter stage is created at
@@ -152,9 +197,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	b.Counter(&counted)
 
 	if *useIDS {
-		err = runIDS(b, stdout, cfg, *shards, *advEvery, *topN, &counted)
+		err = runIDS(b, stdout, cfg, *shards, *advEvery, *topN, &counted, resumed)
 	} else {
-		err = runDetect(b, stdout, cfg, *shards, *topN, &counted)
+		err = runDetect(b, stdout, cfg, *shards, *topN, &counted, resumed)
 	}
 	if reportSkipped != nil {
 		reportSkipped()
@@ -162,17 +207,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return err
 }
 
-// runDetect terminates the prepared builder in the offline detector
-// (plain when serial, sharded otherwise; Detect returns the merged
-// view either way) and prints the per-level scan tables.
-func runDetect(b *v6scan.Builder, stdout io.Writer, cfg v6scan.DetectorConfig, shards, topN int, counted **v6scan.PipelineCounter) error {
-	det, err := b.Detect(context.Background(), cfg, shards)
-	if err != nil {
+// runDetect terminates the prepared builder in the offline detector —
+// plain when serial, sharded otherwise, restored from the checkpoint
+// when resuming (which also carries the detection parameters) — and
+// prints the per-level scan tables.
+func runDetect(b *v6scan.Builder, stdout io.Writer, cfg v6scan.DetectorConfig, shards, topN int, counted **v6scan.PipelineCounter, resumed *v6scan.ResumedSink) error {
+	var sink v6scan.RecordSink
+	var result func() *v6scan.Detector
+	switch {
+	case resumed != nil:
+		switch s := resumed.Sink.(type) {
+		case *v6scan.DetectorSink:
+			sink, result = s, s.Result
+		case *v6scan.ShardedSink:
+			sink, result = s, s.Result
+		default:
+			return fmt.Errorf("checkpoint holds IDS state; rerun with -ids")
+		}
+	case shards > 1:
+		s := v6scan.NewShardedSink(v6scan.NewShardedDetector(cfg, shards))
+		sink, result = s, s.Result
+	default:
+		s := v6scan.NewDetectorSink(v6scan.NewDetector(cfg))
+		sink, result = s, s.Result
+	}
+	if err := b.RunInto(context.Background(), sink); err != nil {
 		return err
+	}
+	det := result()
+	levels := cfg.Levels
+	if resumed != nil {
+		levels = det.Config().Levels
 	}
 
 	fmt.Fprintf(stdout, "processed %d records\n", (*counted).Count())
-	for _, lvl := range cfg.Levels {
+	for _, lvl := range levels {
 		scans := det.Scans(lvl)
 		fmt.Fprintf(stdout, "\n=== %s: %d scans ===\n", lvl, len(scans))
 		sort.Slice(scans, func(i, j int) bool { return scans[i].Packets > scans[j].Packets })
@@ -193,7 +262,7 @@ func runDetect(b *v6scan.Builder, stdout io.Writer, cfg v6scan.DetectorConfig, s
 // dynamic-aggregation engine (sharded when -shards > 1) and prints the
 // merged alert list — the blocklist recommendations the Discussion
 // section calls for.
-func runIDS(b *v6scan.Builder, stdout io.Writer, det v6scan.DetectorConfig, shards int, advEvery time.Duration, topN int, counted **v6scan.PipelineCounter) error {
+func runIDS(b *v6scan.Builder, stdout io.Writer, det v6scan.DetectorConfig, shards int, advEvery time.Duration, topN int, counted **v6scan.PipelineCounter, resumed *v6scan.ResumedSink) error {
 	cfg := v6scan.DefaultIDSConfig()
 	cfg.MinDsts = det.MinDsts
 	cfg.Timeout = det.Timeout
@@ -204,7 +273,9 @@ func runIDS(b *v6scan.Builder, stdout io.Writer, det v6scan.DetectorConfig, shar
 	// candidates are evicted (and their alerts emitted) mid-stream
 	// instead of all pooling until Flush. The cadence and drop
 	// introspection need the sink in hand, so the builder terminates
-	// through RunInto rather than the IDS helper.
+	// through RunInto rather than the IDS helper. The cadence is
+	// configuration, not checkpointed state, so a resumed sink gets it
+	// re-applied here.
 	tickEvery := time.Minute
 	if advEvery > 0 {
 		tickEvery = advEvery
@@ -212,18 +283,26 @@ func runIDS(b *v6scan.Builder, stdout io.Writer, det v6scan.DetectorConfig, shar
 	var idsSink v6scan.TerminalSink
 	var drained func() []v6scan.IDSAlert
 	var dropped func() uint64
-	if shards > 1 {
+	switch {
+	case resumed != nil:
+		switch s := resumed.Sink.(type) {
+		case *v6scan.IDSSink:
+			s.AdvanceEvery = tickEvery
+			idsSink, drained, dropped = s, s.Result, s.E.DroppedCandidates
+		case *v6scan.ShardedIDSSink:
+			s.AdvanceEvery = tickEvery
+			idsSink, drained, dropped = s, s.Result, s.E.DroppedCandidates
+		default:
+			return fmt.Errorf("checkpoint holds offline-detector state; rerun without -ids")
+		}
+	case shards > 1:
 		s := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, shards))
-		s.TickEvery = tickEvery
-		idsSink = s
-		drained = s.Result
-		dropped = s.E.DroppedCandidates
-	} else {
+		s.AdvanceEvery = tickEvery
+		idsSink, drained, dropped = s, s.Result, s.E.DroppedCandidates
+	default:
 		s := v6scan.NewIDSSink(v6scan.NewIDS(cfg))
-		s.TickEvery = tickEvery
-		idsSink = s
-		drained = s.Result
-		dropped = s.E.DroppedCandidates
+		s.AdvanceEvery = tickEvery
+		idsSink, drained, dropped = s, s.Result, s.E.DroppedCandidates
 	}
 	if err := b.RunInto(context.Background(), idsSink); err != nil {
 		return err

@@ -78,7 +78,7 @@ func main() {
 	// timer: idle candidates are evicted (and their alerts emitted)
 	// mid-stream, bounding memory; the horizon reaches every shard
 	// through the dispatcher, so alerts stay identical at any -shards.
-	idsSink.TickEvery = time.Minute
+	idsSink.AdvanceEvery = time.Minute
 	if err := v6scan.From(v6scan.NewSliceSource(recs)).
 		Tee(v6scan.NewDetectorSink(det)).
 		RunInto(context.Background(), idsSink); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"net/netip"
 
@@ -78,6 +79,30 @@ func (s *DstSketch) Estimate() uint64 {
 
 // MemoryBytes returns the sketch's register memory.
 func (s *DstSketch) MemoryBytes() int { return len(s.registers) }
+
+// Precision returns the sketch's precision (register count = 2^p).
+func (s *DstSketch) Precision() uint8 { return s.precision }
+
+// Registers returns the sketch's register array — its complete
+// serializable state. The returned slice is the backing store: callers
+// must treat it as read-only and must not retain it past the sketch's
+// next mutation. Snapshot code copies it into the checkpoint payload.
+func (s *DstSketch) Registers() []uint8 { return s.registers }
+
+// RestoreDstSketch rebuilds a sketch from a precision and register
+// array previously obtained from Registers. The registers are copied.
+func RestoreDstSketch(precision uint8, registers []uint8) (*DstSketch, error) {
+	if precision < 4 || precision > 16 {
+		return nil, fmt.Errorf("core: sketch precision %d out of range [4,16]", precision)
+	}
+	if len(registers) != 1<<precision {
+		return nil, fmt.Errorf("core: sketch register count %d does not match precision %d (want %d)",
+			len(registers), precision, 1<<precision)
+	}
+	s := &DstSketch{registers: make([]uint8, len(registers)), precision: precision}
+	copy(s.registers, registers)
+	return s, nil
+}
 
 // Reset zeroes the registers, returning the sketch to its freshly
 // allocated state so callers can pool and reuse sketches (the IDS

@@ -89,6 +89,22 @@ func (c *Counter) Normalized() float64 {
 	return c.Shannon() / math.Log2(float64(c.total))
 }
 
+// Each calls f once per distinct observed value with its count, in
+// unspecified order. Snapshot code serializes counters through it (and
+// rebuilds them with ObserveN), so the counter's inline/materialized
+// representation never leaks into the encoding.
+func (c *Counter) Each(f func(v, n uint64)) {
+	if c.counts == nil {
+		if c.firstN > 0 {
+			f(c.first, c.firstN)
+		}
+		return
+	}
+	for v, n := range c.counts {
+		f(v, n)
+	}
+}
+
 // Merge adds all observations of other into c.
 func (c *Counter) Merge(other *Counter) {
 	if other.counts == nil {

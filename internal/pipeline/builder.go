@@ -41,10 +41,16 @@ type Builder struct {
 	// terminal lifecycle (Close) to them.
 	branches []RecordSink
 	// advanceEvery is the stream-time eviction cadence the terminal
-	// helpers apply: Detect sets the sink's AdvanceEvery, IDS the
-	// sink's TickEvery. Zero leaves eviction to Flush.
+	// helpers apply by setting the sink's AdvanceEvery (the unified
+	// name on every cadence-capable sink — detector Advance, IDS
+	// Tick). Zero leaves eviction to Flush.
 	advanceEvery time.Duration
-	spent        bool
+	// ckptEvery/ckptDir is the checkpoint cadence RunInto applies to
+	// terminals that can snapshot their state (the detector and IDS
+	// sinks, plain and sharded).
+	ckptEvery time.Duration
+	ckptDir   string
+	spent     bool
 }
 
 // From starts a builder reading from src.
@@ -124,9 +130,23 @@ func (b *Builder) DaySort() *Builder {
 // advanced window past it. The memory-bounded replacement for DaySort
 // on near-sorted sources — whenever the input's disorder stays within
 // the window, the emitted stream equals a full stable sort. Records
-// later than the window abort the run with an error.
+// later than the window abort the run with a *ErrLateRecord.
 func (b *Builder) WindowSort(window time.Duration) *Builder {
 	return b.stage(func(next RecordSink) RecordSink { return NewWindowSort(window, next) })
+}
+
+// WindowSortSpill appends a WindowSort stage with the spill-to-disk
+// path enabled: disorder beyond the window switches the stage to
+// buffering sorted runs in dir (the OS temp dir when empty) instead of
+// aborting, and Flush merges them back into one stable
+// timestamp-ordered stream. Output is identical to a full stable sort
+// of the input regardless of how far the disorder exceeds the window.
+func (b *Builder) WindowSortSpill(window time.Duration, dir string) *Builder {
+	return b.stage(func(next RecordSink) RecordSink {
+		w := NewWindowSort(window, next)
+		w.EnableSpill(dir, 0)
+		return w
+	})
 }
 
 // AdvanceEvery sets the stream-time eviction cadence RunInto — and so
@@ -147,6 +167,43 @@ func (b *Builder) WindowSort(window time.Duration) *Builder {
 func (b *Builder) AdvanceEvery(every time.Duration) *Builder {
 	b.advanceEvery = every
 	return b
+}
+
+// CheckpointEvery sets a stream-time checkpoint cadence on the
+// terminal: RunInto's sink snapshots its state into dir (one file per
+// cut, atomically renamed into place; see LatestCheckpoint and
+// Resume). Every snapshot is a consistent prefix of the stream — all
+// records strictly before the cut applied, none at or after it. When
+// an AdvanceEvery cadence is configured, checkpoints ride it: the
+// snapshot is cut at the first eviction fire at least every past the
+// previous snapshot, right after the advance/tick runs, which keeps
+// the eviction schedule untouched by checkpointing and lets a
+// resumed run pick the schedule up exactly in phase. Without
+// AdvanceEvery the checkpoint cadence fires on its own. Terminals
+// that cannot snapshot (MAWI, arbitrary sinks) ignore the cadence;
+// the built-in detector and IDS sinks opt in by implementing
+// setCheckpoint(time.Duration, string).
+func (b *Builder) CheckpointEvery(every time.Duration, dir string) *Builder {
+	b.ckptEvery = every
+	b.ckptDir = dir
+	return b
+}
+
+// ResumeFrom appends a filter dropping every record at or before
+// horizon — the replay-skip half of checkpoint resume. Feed the same
+// input the interrupted run saw, restore its sink (Resume), and the
+// combination reconstructs the uninterrupted run byte-exactly:
+//
+//	res, _ := pipeline.ResumeFile(path, shards)
+//	err := pipeline.FromFiles(logs...).
+//		ResumeFrom(res.Horizon).
+//		RunInto(ctx, res.Sink)
+//
+// Place it where the terminal's view is cut — after any reordering
+// stage (DaySort, WindowSort), so the skip applies to the ordered
+// stream the snapshot was cut from, not the raw arrival order.
+func (b *Builder) ResumeFrom(horizon time.Time) *Builder {
+	return b.Filter(func(r firewall.Record) bool { return r.Time.After(horizon) })
 }
 
 // Artifact appends the 5-duplicate artifact pre-filter. With no
@@ -232,6 +289,11 @@ func (b *Builder) RunInto(ctx context.Context, sink RecordSink) error {
 	if b.advanceEvery > 0 {
 		if cs, ok := sink.(interface{ setCadence(time.Duration) }); ok {
 			cs.setCadence(b.advanceEvery)
+		}
+	}
+	if b.ckptEvery > 0 && b.ckptDir != "" {
+		if cs, ok := sink.(interface{ setCheckpoint(time.Duration, string) }); ok {
+			cs.setCheckpoint(b.ckptEvery, b.ckptDir)
 		}
 	}
 	branches := b.branches

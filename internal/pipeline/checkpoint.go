@@ -1,0 +1,302 @@
+package pipeline
+
+// Durable-state plumbing: periodic checkpoints of terminal sink state
+// at consistent stream-time cuts, and resume from the latest one.
+//
+// # Consistency
+//
+// A checkpoint is only ever written at a cadence fire point: the
+// moment the cadence machinery (due/splitByCadences) observes the first
+// record at or past the cadence boundary, before that record is
+// processed. Records are non-decreasing, and the cadence fires at the
+// FIRST record carrying its timestamp, so at a fire with time t every
+// processed record has Time < t — the snapshot is exactly the state
+// of the prefix {Time < t}, and the snapshot's mark is t.
+//
+// Resume replays the same input and drops every record with
+// Time ≤ horizon (= mark − 1ns, i.e. Time < mark) ahead of the
+// terminal, which reconstructs the uninterrupted run byte-exactly.
+//
+// When an eviction cadence (AdvanceEvery) is configured, the
+// checkpoint cadence rides it: snapshots are cut only at eviction
+// fire points (the first one at least CheckpointEvery past the last
+// snapshot), immediately after the advance/tick runs. Two things
+// follow. First, a snapshot always includes the eviction horizon's
+// effect, in the order the live run applied it. Second, at every cut
+// the eviction cadence's own mark equals the snapshot mark, so Resume
+// — which restores both marks to the snapshot's — puts the resumed
+// run's eviction schedule exactly in phase with the uninterrupted
+// one. That matters for the IDS, whose tick timing is semantic:
+// checkpointing never perturbs the tick schedule, and a resumed run
+// ticks where the uninterrupted run would have. Without an eviction
+// cadence the checkpoint cadence fires (and splits batches) on its
+// own, and there is no eviction phase to preserve.
+//
+// # Files
+//
+// Checkpoints are one file per cut, named by the mark's UnixNano
+// (zero-padded so lexical order is time order), written to a temp file
+// and renamed into place — a crash mid-write never leaves a readable
+// partial checkpoint, and LatestCheckpoint never picks one up.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"v6scan/internal/checkpoint"
+	"v6scan/internal/core"
+	"v6scan/internal/ids"
+)
+
+// Checkpointer is implemented by terminal sinks that can write a
+// versioned snapshot of their state at a consistent stream-time cut.
+// The caller guarantees mark is a valid cut: every record with Time <
+// mark consumed, none with Time ≥ mark. All built-in detector and IDS
+// sinks (plain and sharded) implement it.
+type Checkpointer interface {
+	Checkpoint(w io.Writer, mark time.Time) error
+}
+
+// checkpointPolicy is the embedded per-sink checkpoint cadence: which
+// directory to write to, how often (stream time), and the cadence
+// mark. It shares the due/splitByCadences machinery with the eviction
+// cadence, so checkpoint cuts land exactly at cadence fire points on
+// both the record and batch paths.
+type checkpointPolicy struct {
+	CheckpointEvery time.Duration
+	CheckpointDir   string
+	lastCkpt        time.Time
+}
+
+// setCheckpoint lets Builder.CheckpointEvery reach a sink through
+// RunInto, mirroring setCadence.
+func (p *checkpointPolicy) setCheckpoint(every time.Duration, dir string) {
+	p.CheckpointEvery = every
+	p.CheckpointDir = dir
+}
+
+// enabled reports whether the policy should participate in the
+// cadence machinery.
+func (p *checkpointPolicy) enabled() bool {
+	return p.CheckpointEvery > 0 && p.CheckpointDir != ""
+}
+
+// maybeCheckpoint is the cadence check run at eviction fire points
+// (or at every record when no eviction cadence exists): when due at
+// t, snapshot ck at mark t. Running it only after the advance/tick
+// keeps the snapshot inclusive of the eviction's effect and the
+// eviction mark equal to the snapshot mark (see the package comment
+// above on resume phase).
+func (p *checkpointPolicy) maybeCheckpoint(ck Checkpointer, t time.Time) error {
+	if p.enabled() && due(&p.lastCkpt, p.CheckpointEvery, t) {
+		return WriteCheckpoint(p.CheckpointDir, ck, t)
+	}
+	return nil
+}
+
+// cadences assembles a sink's batch-path cadence list: the eviction
+// cadence with the checkpoint check riding inside its fire (so
+// snapshots land only on eviction fire points), or — when the sink
+// has no eviction cadence — the checkpoint cadence alone driving the
+// batch splits. Mirrors exactly what the sinks' Consume does record
+// by record.
+func (p *checkpointPolicy) cadences(ck Checkpointer, advEvery time.Duration,
+	lastAdv *time.Time, advFire func(time.Time) error) []cadence {
+	if advEvery > 0 {
+		fire := advFire
+		if p.enabled() {
+			fire = func(t time.Time) error {
+				if err := advFire(t); err != nil {
+					return err
+				}
+				return p.maybeCheckpoint(ck, t)
+			}
+		}
+		return []cadence{{lastAdv, advEvery, fire}}
+	}
+	if p.enabled() {
+		return []cadence{{&p.lastCkpt, p.CheckpointEvery,
+			func(t time.Time) error { return WriteCheckpoint(p.CheckpointDir, ck, t) }}}
+	}
+	return nil
+}
+
+// checkpointFileName names a checkpoint by its mark so lexical order
+// is stream-time order.
+func checkpointFileName(mark time.Time) string {
+	return fmt.Sprintf("%020d.ckpt", mark.UnixNano())
+}
+
+// WriteCheckpoint writes one snapshot of ck at mark into dir,
+// atomically: the bytes land in a temp file that is renamed into its
+// final name only after a successful sync, so readers never observe a
+// partial checkpoint.
+func WriteCheckpoint(dir string, ck Checkpointer, mark time.Time) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pipeline: creating checkpoint dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("pipeline: creating checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	if err := ck.Checkpoint(f, mark); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pipeline: writing checkpoint: %w", err)
+	}
+	final := filepath.Join(dir, checkpointFileName(mark))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pipeline: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LatestCheckpoint returns the path of the newest checkpoint in dir
+// (the one with the largest mark), or "" when the directory holds
+// none. Temp files from interrupted writes are ignored.
+func LatestCheckpoint(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, ".ckpt") && !strings.HasPrefix(name, ".") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", nil
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}
+
+// Resumed is a terminal sink rebuilt from a checkpoint, plus what a
+// caller needs to resume: skip the replayed input through Horizon
+// (Builder.ResumeFrom) and run into Sink.
+type Resumed struct {
+	// Sink is the restored terminal: *DetectorSink or *ShardedSink for
+	// a detector checkpoint, *IDSSink or *ShardedIDSSink for an IDS
+	// one, matching the requested shard count.
+	Sink RecordSink
+	// Kind is the snapshot kind (checkpoint.KindDetector or
+	// checkpoint.KindIDS).
+	Kind uint8
+	// Mark is the checkpoint's stream-time cut; Horizon = Mark − 1ns is
+	// the inclusive replay skip bound.
+	Mark, Horizon time.Time
+}
+
+// Resume rebuilds a terminal sink from a snapshot stream. shards > 1
+// restores the sharded variant — the shard count need not match the
+// one the snapshot was taken at. The restored sink's cadence marks are
+// set to the snapshot's cut, so eviction and checkpoint cadences
+// resume in phase with the interrupted run.
+func Resume(r io.Reader, shards int) (*Resumed, error) {
+	cr, err := checkpoint.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := cr.Header()
+	res := &Resumed{Kind: hdr.Kind, Mark: hdr.Mark, Horizon: hdr.Horizon}
+	switch hdr.Kind {
+	case checkpoint.KindDetector:
+		if shards > 1 {
+			d, err := core.RestoreShardedDetector(cr, shards)
+			if err != nil {
+				return nil, err
+			}
+			s := NewShardedSink(d)
+			s.lastAdvance = hdr.Mark
+			s.lastCkpt = hdr.Mark
+			res.Sink = s
+		} else {
+			d, err := core.RestoreDetector(cr)
+			if err != nil {
+				return nil, err
+			}
+			s := NewDetectorSink(d)
+			s.lastAdvance = hdr.Mark
+			s.lastCkpt = hdr.Mark
+			res.Sink = s
+		}
+	case checkpoint.KindIDS:
+		if shards > 1 {
+			e, err := ids.RestoreShardedEngine(cr, shards)
+			if err != nil {
+				return nil, err
+			}
+			s := NewShardedIDSSink(e)
+			s.lastAdvance = hdr.Mark
+			s.lastCkpt = hdr.Mark
+			res.Sink = s
+		} else {
+			e, err := ids.RestoreEngine(cr)
+			if err != nil {
+				return nil, err
+			}
+			s := NewIDSSink(e)
+			s.lastAdvance = hdr.Mark
+			s.lastCkpt = hdr.Mark
+			res.Sink = s
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown snapshot kind %d", checkpoint.ErrFormat, hdr.Kind)
+	}
+	return res, nil
+}
+
+// ResumeFile is Resume over a checkpoint file path.
+func ResumeFile(path string, shards int) (*Resumed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Resume(f, shards)
+}
+
+// Checkpoint implements Checkpointer: a consistent snapshot of the
+// wrapped detector.
+func (s *DetectorSink) Checkpoint(w io.Writer, mark time.Time) error {
+	return s.D.Snapshot(w, mark)
+}
+
+// Checkpoint implements Checkpointer: a dispatcher barrier drains
+// in-flight batches, then all shards snapshot as one global cut.
+func (s *ShardedSink) Checkpoint(w io.Writer, mark time.Time) error {
+	return s.D.Snapshot(w, mark)
+}
+
+// Checkpoint implements Checkpointer: a consistent snapshot of the
+// wrapped engine.
+func (s *IDSSink) Checkpoint(w io.Writer, mark time.Time) error {
+	return s.E.Snapshot(w, mark)
+}
+
+// Checkpoint implements Checkpointer: a dispatcher barrier drains
+// in-flight batches, then all shards snapshot as one global cut.
+func (s *ShardedIDSSink) Checkpoint(w io.Writer, mark time.Time) error {
+	return s.E.Snapshot(w, mark)
+}

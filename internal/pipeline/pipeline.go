@@ -95,7 +95,44 @@
 // on the record and batch paths — instead of silently corrupting
 // downstream time order. Callers size the window to their source's
 // worst-case disorder and get full-sort-equivalent output (see the
-// WindowSort doc) in exchange for window-bounded memory.
+// WindowSort doc) in exchange for window-bounded memory. When the
+// window cannot be sized in advance, EnableSpill (or the builder's
+// WindowSortSpill) absorbs beyond-window disorder into sorted on-disk
+// runs merged back at Flush — full-sort-equivalent for any disorder,
+// at the price of temp-file I/O.
+//
+// # Checkpoint consistency
+//
+// The durable-state layer (Checkpointer, Builder.CheckpointEvery,
+// Resume) extends the ownership and ordering rules to snapshots:
+//
+//   - Snapshots are cut only at cadence fire points. The cadence
+//     machinery (due on the record path, splitByCadences on the batch
+//     path) fires at the FIRST record at or past the boundary, before
+//     that record is consumed, so a snapshot with mark t captures
+//     exactly the records with Time < t — the same cut on both paths,
+//     at any batch size.
+//   - When an eviction cadence (Advance/Tick) is configured, the
+//     checkpoint cadence rides it: snapshots are cut only at eviction
+//     fire points, immediately after the advance/tick runs. A
+//     checkpoint therefore always reflects the eviction horizon the
+//     live run had applied, checkpointing never perturbs the (for the
+//     IDS, semantic) eviction schedule, and a resumed run's cadence
+//     marks — both restored to the snapshot mark — are exactly in
+//     phase with the uninterrupted run's.
+//   - Sharded sinks snapshot through a dispatcher barrier: the barrier
+//     drains every in-flight batch and establishes a happens-before
+//     edge from each worker to the snapshotting goroutine, so reading
+//     shard state during the snapshot involves no data race and no
+//     batch loan outlives its call.
+//   - A snapshot owns nothing of the live sink: all state is encoded
+//     by value into the checkpoint stream, and a restored sink is
+//     built from fresh allocations — restore never aliases the bytes
+//     of the snapshot buffer or any prior sink's state.
+//   - Restored state is canonical (key-sorted sections, global across
+//     shards), so restoring at a different shard count re-partitions
+//     deterministically and Snapshot∘Restore∘Snapshot is
+//     byte-identity.
 package pipeline
 
 import (

@@ -61,11 +61,17 @@ var Discard RecordSink = SinkFunc(func(firewall.Record) error { return nil })
 // growing until Flush. Advancing never changes the detected scans —
 // a session closed early by Advance is exactly the session Finish
 // would have closed — so the cadence is purely a memory bound.
+//
+// The embedded checkpointPolicy (Builder.CheckpointEvery) adds a
+// second cadence that snapshots the detector to disk at consistent
+// stream-time cuts; at a shared fire point the advance runs first, so
+// the snapshot includes the eviction horizon's effect.
 type DetectorSink struct {
 	D            *core.Detector
 	AdvanceEvery time.Duration
-	lastAdvance  time.Time
-	flushed      bool
+	checkpointPolicy
+	lastAdvance time.Time
+	flushed     bool
 }
 
 // NewDetectorSink wraps a detector.
@@ -80,17 +86,27 @@ func (s *DetectorSink) setCadence(d time.Duration) { s.AdvanceEvery = d }
 // cadence first advances the eviction horizon, then contributes its
 // own activity.
 func (s *DetectorSink) Consume(r firewall.Record) error {
-	if due(&s.lastAdvance, s.AdvanceEvery, r.Time) {
+	switch {
+	case due(&s.lastAdvance, s.AdvanceEvery, r.Time):
 		s.D.Advance(r.Time)
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
+			return err
+		}
+	case s.AdvanceEvery <= 0:
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
+			return err
+		}
 	}
 	return s.D.Process(r)
 }
 
 // ConsumeBatch implements BatchSink, splitting the batch at every
-// cadence point so advances fire at the same stream positions as on
-// the per-record path.
+// cadence point so advances and checkpoints fire at the same stream
+// positions as on the per-record path.
 func (s *DetectorSink) ConsumeBatch(recs []firewall.Record) error {
-	return splitByCadence(recs, &s.lastAdvance, s.AdvanceEvery,
+	return splitByCadences(recs,
+		s.cadences(s, s.AdvanceEvery, &s.lastAdvance,
+			func(t time.Time) error { s.D.Advance(t); return nil }),
 		func(part []firewall.Record) error {
 			for _, r := range part {
 				if err := s.D.Process(r); err != nil {
@@ -98,8 +114,7 @@ func (s *DetectorSink) ConsumeBatch(recs []firewall.Record) error {
 				}
 			}
 			return nil
-		},
-		func(t time.Time) error { s.D.Advance(t); return nil })
+		})
 }
 
 // Flush implements RecordSink, finalizing the detector exactly once.
@@ -130,7 +145,8 @@ func (s *DetectorSink) Result() *core.Detector { return s.D }
 type ShardedSink struct {
 	D            *core.ShardedDetector
 	AdvanceEvery time.Duration
-	lastAdvance  time.Time
+	checkpointPolicy
+	lastAdvance time.Time
 }
 
 // NewShardedSink wraps a sharded detector.
@@ -143,8 +159,16 @@ func (s *ShardedSink) setCadence(d time.Duration) { s.AdvanceEvery = d }
 // Consume implements RecordSink via the detector's staged batching;
 // the cadence check runs before ingestion, as on DetectorSink.
 func (s *ShardedSink) Consume(r firewall.Record) error {
-	if due(&s.lastAdvance, s.AdvanceEvery, r.Time) {
+	switch {
+	case due(&s.lastAdvance, s.AdvanceEvery, r.Time):
 		if err := s.D.Advance(r.Time); err != nil {
+			return err
+		}
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
+			return err
+		}
+	case s.AdvanceEvery <= 0:
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
 			return err
 		}
 	}
@@ -154,8 +178,9 @@ func (s *ShardedSink) Consume(r firewall.Record) error {
 // ConsumeBatch implements BatchSink, splitting at cadence points as on
 // DetectorSink.
 func (s *ShardedSink) ConsumeBatch(recs []firewall.Record) error {
-	return splitByCadence(recs, &s.lastAdvance, s.AdvanceEvery,
-		s.D.ProcessBatch, s.D.Advance)
+	return splitByCadences(recs,
+		s.cadences(s, s.AdvanceEvery, &s.lastAdvance, s.D.Advance),
+		s.D.ProcessBatch)
 }
 
 // Flush implements RecordSink. The detector's Finish is idempotent, so
@@ -213,16 +238,26 @@ func (s *MAWISink) Result() []core.MAWIScan { return s.Scans }
 // IDSSink terminates a pipeline in the dynamic-aggregation IDS engine;
 // Flush stores the accumulated alerts in Alerts.
 //
-// TickEvery, when positive, forwards Engine.Tick on a stream-time
+// AdvanceEvery, when positive, forwards Engine.Tick on a stream-time
 // cadence (checked at record/batch granularity) so idle candidates
 // are evicted mid-stream as in an inline deployment; zero leaves all
-// eviction to Flush.
+// eviction to Flush. The field carries the same name on every
+// cadence-capable sink, so Builder.AdvanceEvery drives whichever
+// terminal follows. The embedded checkpointPolicy behaves as on
+// DetectorSink: the tick fires before the snapshot at a shared cut.
 type IDSSink struct {
-	E         *ids.Engine
+	E *ids.Engine
+	// AdvanceEvery is the unified eviction cadence.
+	AdvanceEvery time.Duration
+	// TickEvery is the cadence's original name on the IDS sinks.
+	// It still works — AdvanceEvery wins when both are set.
+	//
+	// Deprecated: set AdvanceEvery (or Builder.AdvanceEvery) instead.
 	TickEvery time.Duration
-	Alerts    []ids.Alert
-	lastTick  time.Time
-	flushed   bool
+	checkpointPolicy
+	Alerts      []ids.Alert
+	lastAdvance time.Time
+	flushed     bool
 }
 
 // NewIDSSink wraps an IDS engine.
@@ -230,7 +265,16 @@ func NewIDSSink(e *ids.Engine) *IDSSink { return &IDSSink{E: e} }
 
 // setCadence lets Builder.AdvanceEvery reach this sink through
 // RunInto (the builder cadence drives Tick here).
-func (s *IDSSink) setCadence(d time.Duration) { s.TickEvery = d }
+func (s *IDSSink) setCadence(d time.Duration) { s.AdvanceEvery = d }
+
+// advanceCadence resolves the unified field against its deprecated
+// alias: AdvanceEvery when set, else TickEvery.
+func (s *IDSSink) advanceCadence() time.Duration {
+	if s.AdvanceEvery > 0 {
+		return s.AdvanceEvery
+	}
+	return s.TickEvery
+}
 
 // Consume implements RecordSink. The cadence check runs before the
 // record is ingested: a record whose timestamp jumped past the
@@ -238,21 +282,31 @@ func (s *IDSSink) setCadence(d time.Duration) { s.TickEvery = d }
 // went idle during the gap, as an inline deployment's timer would)
 // and only then contributes its own activity.
 func (s *IDSSink) Consume(r firewall.Record) error {
-	if due(&s.lastTick, s.TickEvery, r.Time) {
+	adv := s.advanceCadence()
+	switch {
+	case due(&s.lastAdvance, adv, r.Time):
 		s.E.Tick(r.Time)
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
+			return err
+		}
+	case adv <= 0:
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
+			return err
+		}
 	}
 	s.E.Process(r)
 	return nil
 }
 
 // ConsumeBatch implements BatchSink. The batch is split at every
-// cadence point so ticks fire at the same stream positions as on the
-// per-record path — batch size (and stages that force the record
-// path) never change which sessions merge.
+// cadence point so ticks and checkpoints fire at the same stream
+// positions as on the per-record path — batch size (and stages that
+// force the record path) never change which sessions merge.
 func (s *IDSSink) ConsumeBatch(recs []firewall.Record) error {
-	return splitByCadence(recs, &s.lastTick, s.TickEvery,
-		func(part []firewall.Record) error { s.E.ProcessBatch(part); return nil },
-		func(t time.Time) error { s.E.Tick(t); return nil })
+	return splitByCadences(recs,
+		s.cadences(s, s.advanceCadence(), &s.lastAdvance,
+			func(t time.Time) error { s.E.Tick(t); return nil }),
+		func(part []firewall.Record) error { s.E.ProcessBatch(part); return nil })
 }
 
 // Flush implements RecordSink, draining the engine exactly once (a
@@ -275,13 +329,21 @@ func (s *IDSSink) Result() []ids.Alert { return s.Alerts }
 // ShardedIDSSink terminates a pipeline in the sharded IDS engine,
 // forwarding batches to its parallel ProcessBatch path; Flush stops
 // the workers and stores the deterministically merged alerts in
-// Alerts. TickEvery behaves as on IDSSink.
+// Alerts. AdvanceEvery (and the deprecated TickEvery alias) behaves
+// as on IDSSink.
 type ShardedIDSSink struct {
-	E         *ids.ShardedEngine
+	E *ids.ShardedEngine
+	// AdvanceEvery is the unified eviction cadence.
+	AdvanceEvery time.Duration
+	// TickEvery is the cadence's original name on the IDS sinks.
+	// It still works — AdvanceEvery wins when both are set.
+	//
+	// Deprecated: set AdvanceEvery (or Builder.AdvanceEvery) instead.
 	TickEvery time.Duration
-	Alerts    []ids.Alert
-	lastTick  time.Time
-	flushed   bool
+	checkpointPolicy
+	Alerts      []ids.Alert
+	lastAdvance time.Time
+	flushed     bool
 }
 
 // NewShardedIDSSink wraps a sharded IDS engine.
@@ -289,13 +351,31 @@ func NewShardedIDSSink(e *ids.ShardedEngine) *ShardedIDSSink { return &ShardedID
 
 // setCadence lets Builder.AdvanceEvery reach this sink through
 // RunInto (the builder cadence drives Tick here).
-func (s *ShardedIDSSink) setCadence(d time.Duration) { s.TickEvery = d }
+func (s *ShardedIDSSink) setCadence(d time.Duration) { s.AdvanceEvery = d }
+
+// advanceCadence resolves the unified field against its deprecated
+// alias, as on IDSSink.
+func (s *ShardedIDSSink) advanceCadence() time.Duration {
+	if s.AdvanceEvery > 0 {
+		return s.AdvanceEvery
+	}
+	return s.TickEvery
+}
 
 // Consume implements RecordSink via the engine's staged batching; the
 // cadence check runs before ingestion, as on IDSSink.
 func (s *ShardedIDSSink) Consume(r firewall.Record) error {
-	if due(&s.lastTick, s.TickEvery, r.Time) {
+	adv := s.advanceCadence()
+	switch {
+	case due(&s.lastAdvance, adv, r.Time):
 		s.E.Tick(r.Time)
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
+			return err
+		}
+	case adv <= 0:
+		if err := s.maybeCheckpoint(s, r.Time); err != nil {
+			return err
+		}
 	}
 	s.E.Process(r)
 	return nil
@@ -304,9 +384,10 @@ func (s *ShardedIDSSink) Consume(r firewall.Record) error {
 // ConsumeBatch implements BatchSink, splitting at cadence points as
 // on IDSSink.
 func (s *ShardedIDSSink) ConsumeBatch(recs []firewall.Record) error {
-	return splitByCadence(recs, &s.lastTick, s.TickEvery,
-		func(part []firewall.Record) error { s.E.ProcessBatch(part); return nil },
-		func(t time.Time) error { s.E.Tick(t); return nil })
+	return splitByCadences(recs,
+		s.cadences(s, s.advanceCadence(), &s.lastAdvance,
+			func(t time.Time) error { s.E.Tick(t); return nil }),
+		func(part []firewall.Record) error { s.E.ProcessBatch(part); return nil })
 }
 
 // Flush implements RecordSink, stopping the workers and merging the
@@ -326,28 +407,55 @@ func (s *ShardedIDSSink) Close() error { return s.Flush() }
 // Flush.
 func (s *ShardedIDSSink) Result() []ids.Alert { return s.Alerts }
 
-// splitByCadence drives a batch through process, splitting it at
-// every stream-time cadence point and invoking fire there first —
-// exactly the positions the per-record path (due before each Consume)
-// would fire at, so batch size never changes which sessions merge or
-// when eviction horizons advance. A non-positive cadence degrades to
-// one process call. Shared by the detector sinks (fire = Advance) and
-// the IDS sinks (fire = Tick).
-func splitByCadence(recs []firewall.Record, last *time.Time, every time.Duration,
-	process func([]firewall.Record) error, fire func(time.Time) error) error {
-	if every <= 0 {
+// cadence is one stream-time cadence a batch is split against: a
+// mark, a period, and the action to run at each fire point. A zero
+// cadence (nil mark or non-positive period) never fires.
+type cadence struct {
+	last  *time.Time
+	every time.Duration
+	fire  func(time.Time) error
+}
+
+// splitByCadences drives a batch through process, splitting it at the
+// union of every cadence's stream-time fire points and invoking the
+// fires there first — exactly the positions the per-record path (due
+// checks before each Consume) would fire at, so batch size never
+// changes which sessions merge, when eviction horizons advance, or
+// where checkpoints cut. All-zero cadences degrade to one process
+// call. Shared by the detector sinks (fire = Advance) and the IDS
+// sinks (fire = Tick); checkpointPolicy.cadences assembles each
+// sink's list, with the checkpoint check riding inside the eviction
+// fire when both are configured.
+func splitByCadences(recs []firewall.Record, cads []cadence,
+	process func([]firewall.Record) error) error {
+	active := false
+	for i := range cads {
+		if cads[i].last != nil && cads[i].every > 0 {
+			active = true
+		}
+	}
+	if !active {
 		return process(recs)
 	}
 	start := 0
-	for i, r := range recs {
-		if due(last, every, r.Time) {
-			if err := process(recs[start:i]); err != nil {
+	for i := range recs {
+		t := recs[i].Time
+		split := false
+		for j := range cads {
+			c := &cads[j]
+			if c.last == nil || !due(c.last, c.every, t) {
+				continue
+			}
+			if !split {
+				if err := process(recs[start:i]); err != nil {
+					return err
+				}
+				start = i
+				split = true
+			}
+			if err := c.fire(t); err != nil {
 				return err
 			}
-			if err := fire(r.Time); err != nil {
-				return err
-			}
-			start = i
 		}
 	}
 	return process(recs[start:])

@@ -1,12 +1,42 @@
 package pipeline
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"time"
 
 	"v6scan/internal/firewall"
 )
+
+// ErrLateRecord reports a record that trails the stream too far to be
+// placed without violating the downstream time-order contract. Callers
+// can distinguish it from decode errors with errors.As and read how
+// far the record trailed:
+//
+//	var late *pipeline.ErrLateRecord
+//	if errors.As(err, &late) { ... late.RecordTime, late.Horizon ... }
+type ErrLateRecord struct {
+	// RecordTime is the rejected record's timestamp.
+	RecordTime time.Time
+	// Horizon is the earliest timestamp still admissible at the point
+	// of rejection: high-water − window in the buffered regime, the
+	// last released timestamp once a spill-enabled sort has stopped
+	// releasing.
+	Horizon time.Time
+	// HighWater is the stream-time high-water mark at rejection.
+	HighWater time.Time
+	// Window is the configured reorder window.
+	Window time.Duration
+}
+
+// Error implements error.
+func (e *ErrLateRecord) Error() string {
+	return fmt.Sprintf("pipeline: record at %v trails the stream high-water mark %v by %v, exceeding the %v reorder window (admissible horizon %v); increase the window to at least the source's worst-case disorder, or enable spill-to-disk",
+		e.RecordTime, e.HighWater, e.HighWater.Sub(e.RecordTime), e.Window, e.Horizon)
+}
 
 // WindowSort is a bounded-lateness streaming reorder buffer: it
 // repairs record disorder up to a configurable maximum skew window
@@ -29,12 +59,14 @@ import (
 // high-water mark by more than the window — may be impossible to
 // place without violating the downstream time-order contract
 // (everything up to high-water − window may already have been
-// released), so it is rejected with an error naming the skew. The
-// check is against the high-water mark, not against what happens to
-// have been released so far, so acceptance is a pure function of the
-// record sequence: record-by-record and batched feeding fail (or
+// released), so it is rejected with *ErrLateRecord naming the skew.
+// The check is against the high-water mark, not against what happens
+// to have been released so far, so acceptance is a pure function of
+// the record sequence: record-by-record and batched feeding fail (or
 // succeed) identically. Callers pick the window from their source's
-// worst-case disorder (cmd/v6scan's -window flag).
+// worst-case disorder (cmd/v6scan's -window flag) — or arm
+// EnableSpill, which diverts beyond-window disorder through sorted
+// on-disk run files merged at Flush instead of failing fast.
 //
 // Internally the buffer reuses the run-merge machinery of SortByTime:
 // arrival order is tracked as maximal sorted runs, an in-order stream
@@ -53,9 +85,48 @@ type WindowSort struct {
 	scratch []firewall.Record
 
 	// maxSeen is the stream-time high-water mark; minBuf the smallest
-	// buffered timestamp (valid while buf is non-empty).
+	// buffered timestamp (valid while buf is non-empty); lastOut the
+	// timestamp of the last record released downstream.
 	maxSeen time.Time
 	minBuf  time.Time
+	lastOut time.Time
+
+	// Spill-to-disk state (EnableSpill): beyond-window disorder stops
+	// streaming releases and diverts the tail of the stream through
+	// sorted on-disk run files merged at Flush, instead of failing
+	// fast.
+	spillEnabled bool
+	spillDir     string
+	spillMax     int
+	spilling     bool
+	spillRuns    []*os.File // sorted spill runs, in creation order
+}
+
+// defaultSpillRunRecords is the in-memory buffer bound while spilling:
+// one sorted run file is written per this many buffered records
+// (~7 MiB of records; ~6 MiB on the wire).
+const defaultSpillRunRecords = 1 << 17
+
+// EnableSpill arms the spill-to-disk path: when the stream's disorder
+// exceeds the window, the sort stops streaming releases, buffers up to
+// maxRun records (default defaultSpillRunRecords), writes each full
+// buffer as a sorted run file under dir (default os.TempDir()), and
+// k-way merges the run files with the in-memory remainder at Flush —
+// the emitted sequence equals sort.SliceStable over the whole input.
+// The price is that nothing more is emitted until Flush; the win is
+// that multi-day disorder no longer aborts the run or demands
+// stream-sized memory.
+//
+// A record older than the last record already released downstream is
+// still rejected with *ErrLateRecord — it cannot be placed behind
+// emitted output by any amount of buffering.
+func (w *WindowSort) EnableSpill(dir string, maxRun int) {
+	if maxRun <= 0 {
+		maxRun = defaultSpillRunRecords
+	}
+	w.spillEnabled = true
+	w.spillDir = dir
+	w.spillMax = maxRun
 }
 
 // NewWindowSort returns a reorder stage releasing records once the
@@ -73,19 +144,29 @@ func (w *WindowSort) Consume(r firewall.Record) error {
 	if err := w.admit(r); err != nil {
 		return err
 	}
+	if w.spilling {
+		return w.maybeSpill()
+	}
 	return w.release()
 }
 
 // ConsumeBatch implements BatchSink. The whole batch is admitted
 // before one release pass, so a batch pays one merge regardless of
-// size; the emitted record sequence — and which records are rejected
-// as too late — is identical to the per-record path (both are pure
-// functions of the high-water mark).
+// size; the emitted record sequence — and, in the fail-fast regime,
+// which records are rejected as too late — is identical to the
+// per-record path (both are pure functions of the high-water mark).
+// In the spill regime rejection instead compares against output
+// already released downstream, which does depend on release
+// granularity: a record the eagerly-releasing record path has passed
+// may still be placeable when it arrives mid-batch.
 func (w *WindowSort) ConsumeBatch(recs []firewall.Record) error {
 	for i := range recs {
 		if err := w.admit(recs[i]); err != nil {
 			return err
 		}
+	}
+	if w.spilling {
+		return w.maybeSpill()
 	}
 	return w.release()
 }
@@ -99,8 +180,17 @@ func (w *WindowSort) admit(r firewall.Record) error {
 	// released (releases stop at maxSeen − window), so accepted records
 	// always still fit the output order.
 	if !w.maxSeen.IsZero() && r.Time.Before(w.maxSeen.Add(-w.window)) {
-		return fmt.Errorf("pipeline: record at %v trails the stream high-water mark %v by %v, exceeding the %v reorder window; increase the window to at least the source's worst-case disorder",
-			r.Time, w.maxSeen, w.maxSeen.Sub(r.Time), w.window)
+		if !w.spillEnabled {
+			return &ErrLateRecord{RecordTime: r.Time, Horizon: w.maxSeen.Add(-w.window), HighWater: w.maxSeen, Window: w.window}
+		}
+		// Spill regime: the record is placeable as long as it is not
+		// older than what has already been emitted (lastOut ≤
+		// maxSeen − window always, so this branch subsumes the one
+		// above once spilling).
+		if r.Time.Before(w.lastOut) {
+			return &ErrLateRecord{RecordTime: r.Time, Horizon: w.lastOut, HighWater: w.maxSeen, Window: w.window}
+		}
+		w.spilling = true
 	}
 	if n := len(w.buf); n > 0 && r.Time.Before(w.buf[n-1].Time) {
 		w.runs = append(w.runs, n)
@@ -130,6 +220,9 @@ func (w *WindowSort) release() error {
 	if idx == 0 {
 		return nil
 	}
+	// Record the release high-water before emitting: downstream
+	// compaction may overwrite the emitted prefix during the call.
+	w.lastOut = w.buf[idx-1].Time
 	err := consumeBatch(w.next, w.buf[:idx])
 	// The retained tail is untouched by downstream compaction (which
 	// only writes within the emitted prefix). Reslice past the
@@ -157,8 +250,17 @@ func (w *WindowSort) sortBuf() {
 	w.runs = w.runs[:0]
 }
 
-// Flush drains every still-buffered record downstream in order.
+// Flush drains every still-buffered record downstream in order. In the
+// spill regime it k-way merges the sorted run files with the in-memory
+// remainder first; the full emitted sequence (streamed prefix + merged
+// tail) equals sort.SliceStable over the entire input.
 func (w *WindowSort) Flush() error {
+	if w.spilling {
+		if err := w.mergeSpill(); err != nil {
+			return err
+		}
+		return w.next.Flush()
+	}
 	if len(w.buf) > 0 {
 		w.sortBuf()
 		if err := consumeBatch(w.next, w.buf); err != nil {
@@ -167,4 +269,144 @@ func (w *WindowSort) Flush() error {
 		w.buf = w.buf[:0]
 	}
 	return w.next.Flush()
+}
+
+// maybeSpill writes the in-memory buffer as one sorted run file when
+// it reaches the spill bound, keeping memory O(spillMax) no matter how
+// long the disordered tail runs.
+func (w *WindowSort) maybeSpill() error {
+	if len(w.buf) < w.spillMax {
+		return nil
+	}
+	w.sortBuf()
+	f, err := os.CreateTemp(w.spillDir, "windowsort-*.run")
+	if err != nil {
+		return fmt.Errorf("pipeline: creating spill run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	fw := firewall.NewWriter(bw)
+	for i := range w.buf {
+		if err := fw.Write(w.buf[i]); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+	}
+	if err := fw.Flush(); err == nil {
+		err = bw.Flush()
+	} else {
+		bw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("pipeline: writing spill run: %w", err)
+	}
+	w.spillRuns = append(w.spillRuns, f)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// spillCursor streams one sorted run during the merge: the on-disk
+// runs decode in batches through the firewall reader; the in-memory
+// remainder is just a slice.
+type spillCursor struct {
+	rd    *firewall.Reader
+	batch []firewall.Record
+	i     int
+	done  bool
+}
+
+func (c *spillCursor) head() *firewall.Record { return &c.batch[c.i] }
+
+// advance refills the cursor's batch when exhausted; done is set at
+// end of run.
+func (c *spillCursor) advance() error {
+	c.i++
+	if c.i < len(c.batch) {
+		return nil
+	}
+	if c.rd == nil {
+		c.done = true
+		return nil
+	}
+	recs, err := c.rd.NextBatch(c.batch[:0], cap(c.batch))
+	c.batch, c.i = recs, 0
+	if len(recs) == 0 {
+		c.done = true
+		if err == io.EOF {
+			err = nil
+		}
+		return err
+	}
+	if err == io.EOF {
+		err = nil
+	}
+	return err
+}
+
+// mergeSpill merges the spill run files and the in-memory remainder
+// downstream in stable timestamp order: ties resolve to the
+// earliest-created run (the in-memory remainder last), which is
+// arrival order — exactly sort.SliceStable's tie rule.
+func (w *WindowSort) mergeSpill() error {
+	defer func() {
+		for _, f := range w.spillRuns {
+			f.Close()
+			os.Remove(f.Name())
+		}
+		w.spillRuns = nil
+	}()
+	w.sortBuf()
+	cursors := make([]*spillCursor, 0, len(w.spillRuns)+1)
+	for _, f := range w.spillRuns {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("pipeline: rewinding spill run: %w", err)
+		}
+		c := &spillCursor{
+			rd:    firewall.NewReader(bufio.NewReaderSize(f, 1<<16)),
+			batch: make([]firewall.Record, 0, DefaultBatchSize),
+			i:     -1,
+		}
+		if err := c.advance(); err != nil {
+			return err
+		}
+		cursors = append(cursors, c)
+	}
+	if len(w.buf) > 0 {
+		cursors = append(cursors, &spillCursor{batch: w.buf})
+	}
+	out := make([]firewall.Record, 0, DefaultBatchSize)
+	for {
+		// Linear min-scan over the live cursors: the run count is
+		// input-size/spillMax, small enough that a heap would not pay
+		// for itself before hundreds of runs.
+		var min *spillCursor
+		for _, c := range cursors {
+			if c.done {
+				continue
+			}
+			if min == nil || c.head().Time.Before(min.head().Time) {
+				min = c
+			}
+		}
+		if min == nil {
+			break
+		}
+		out = append(out, *min.head())
+		if err := min.advance(); err != nil {
+			return err
+		}
+		if len(out) == cap(out) {
+			if err := consumeBatch(w.next, out); err != nil {
+				return err
+			}
+			out = out[:0]
+		}
+	}
+	w.buf = w.buf[:0]
+	if len(out) > 0 {
+		return consumeBatch(w.next, out)
+	}
+	return nil
 }

@@ -61,19 +61,53 @@
 // and the builder's AdvanceEvery forwards a stream-time eviction
 // horizon to the detector/IDS terminals — sharded ones included — so
 // idle per-source state is released continuously instead of
-// accumulating until the end of input. Arbitrary terminals plug in
+// accumulating until the end of input. AdvanceEvery is the one
+// cadence name across all terminals (the IDS sinks' former TickEvery
+// field remains as a deprecated alias). Arbitrary terminals plug in
 // through RunInto, which owns the sink lifecycle (Flush to finalize,
 // Close to release, typed Result accessors):
 //
 //	sink := v6scan.NewShardedIDSSink(v6scan.NewShardedIDS(cfg, 8))
-//	sink.TickEvery = time.Minute
+//	sink.AdvanceEvery = time.Minute
 //	err := v6scan.From(src).Artifact().RunInto(ctx, sink)
 //	alerts := sink.Result()
 //
+// # Checkpoint and resume
+//
+// Long runs survive interruption through versioned snapshots of the
+// terminal's state, cut at consistent stream-time points riding the
+// AdvanceEvery cadence. Enable them with CheckpointEvery; resume by
+// restoring the latest snapshot and replaying the same input with the
+// already-processed prefix skipped:
+//
+//	// Checkpointed run: a snapshot every 6h of stream time.
+//	det, err := v6scan.FromFiles(logs...).
+//	    Artifact().
+//	    AdvanceEvery(time.Hour).
+//	    CheckpointEvery(6*time.Hour, ckptDir).
+//	    Detect(ctx, cfg, 8)
+//
+//	// After a crash: restore the sink and skip the replayed prefix.
+//	path, _ := v6scan.LatestCheckpoint(ckptDir)
+//	res, err := v6scan.ResumeCheckpoint(path, 8)
+//	err = v6scan.FromFiles(logs...).
+//	    Artifact().
+//	    AdvanceEvery(time.Hour).
+//	    CheckpointEvery(6*time.Hour, ckptDir).
+//	    ResumeFrom(res.Horizon).
+//	    RunInto(ctx, res.Sink)
+//
+// The resumed run's results are byte-identical to the uninterrupted
+// one, at any shard count — snapshots re-partition on restore, so a
+// run checkpointed at 8 shards may resume at 2. Snapshots embed a
+// format version and per-section checksums; corrupted or truncated
+// files are rejected on restore.
+//
 // # Migrating from the nested constructors
 //
-// The pre-builder API composed chains inside-out; each nested
-// constructor maps to one left-to-right builder call:
+// The pre-builder API composed chains inside-out. Its deprecated
+// wrapper constructors have been removed (they had no remaining
+// callers); each maps to one left-to-right builder call:
 //
 //	NewPipeline(src, sink).Run()            → From(src).RunInto(ctx, sink)
 //	PolicyStage(p, next)                    → .Policy(p)
@@ -89,10 +123,11 @@
 //	NewIDSSink(NewIDS(c)) / sharded         → .IDS(ctx, c, n)
 //	NewMAWISink(NewMAWIDetector(c))         → .MAWI(ctx, c)
 //
-// The old constructors remain as thin deprecated wrappers, so existing
-// callers keep compiling. A plain Detector fed record by record
-// (Process / Finish / Scans) also remains fully supported for
-// single-goroutine use.
+// Likewise the two eviction-cadence names are now one: the builder's
+// AdvanceEvery drives whichever terminal follows, and the IDS sinks'
+// TickEvery field is a deprecated alias for their AdvanceEvery. A
+// plain Detector fed record by record (Process / Finish / Scans)
+// remains fully supported for single-goroutine use.
 package v6scan
 
 import (
@@ -102,6 +137,7 @@ import (
 	"v6scan/internal/analysis"
 	"v6scan/internal/artifacts"
 	"v6scan/internal/asdb"
+	"v6scan/internal/checkpoint"
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
 	"v6scan/internal/ids"
@@ -286,6 +322,10 @@ type (
 	// buffer: stable time order restored within a configurable skew
 	// window, memory bounded by the window instead of the day.
 	WindowSortStage = pipeline.WindowSort
+	// ErrLateRecord reports a record trailing the stream beyond the
+	// WindowSort window (and, with spill enabled, behind the emitted
+	// prefix), carrying the record time and the violated horizon.
+	ErrLateRecord = pipeline.ErrLateRecord
 	// ArtifactStage runs the 5-duplicate pre-filter as a stage.
 	ArtifactStage = pipeline.ArtifactStage
 	// DetectorSink terminates a pipeline in the scan detector.
@@ -333,13 +373,6 @@ func FromFiles(paths ...string) *Builder { return pipeline.FromFiles(paths...) }
 // branches) with the same left-to-right syntax.
 func Chain() *Builder { return pipeline.Chain() }
 
-// NewPipeline returns a pipeline streaming src into sink.
-//
-// Deprecated: compose with From(src) and terminate with RunInto (or
-// Detect / IDS / MAWI), which also verifies batch continuity and owns
-// the sink lifecycle.
-func NewPipeline(src RecordSource, sink RecordSink) *Pipeline { return pipeline.New(src, sink) }
-
 // NewShardedDetector returns a scan detector partitioning session
 // state by aggregated source prefix across n parallel worker shards.
 // Scans() output is identical to a single Detector's for any n.
@@ -370,41 +403,14 @@ func NewMergeSource(srcs ...RecordSource) *MergeSource { return pipeline.NewMerg
 // builds on.
 func NewFilesSource(paths ...string) *FilesSource { return pipeline.NewFilesSource(paths...) }
 
-// Nested stage constructors, superseded by the builder (see the
-// package-doc migration table). Each remains a thin wrapper over the
-// same stage the builder emits.
-
-// Deprecated: use From(...).Tap(fn) or Chain().Tap(fn).Into(next).
-func TapStage(fn func(Record), next RecordSink) RecordSink { return pipeline.Tap(fn, next) }
-
-// Deprecated: use From(...).Filter(pred) or Chain().Filter(pred).Into(next).
-func FilterStage(pred func(Record) bool, next RecordSink) RecordSink {
-	return pipeline.Filter(pred, next)
-}
-
-// Deprecated: use From(...).Policy(p) or Chain().Policy(p).Into(next).
-func PolicyStage(p CollectPolicy, next RecordSink) RecordSink { return pipeline.Policy(p, next) }
-
-// Deprecated: use From(...).Tee(branches...) to fan out mid-chain; a
-// bare multi-sink terminal is Tee's builder-free niche.
-func TeeStage(sinks ...RecordSink) RecordSink { return pipeline.Tee(sinks...) }
-
-// Deprecated: use From(...).Counter(&c) or Chain().Counter(&c).Into(next).
-func NewPipelineCounter(next RecordSink) *PipelineCounter { return pipeline.NewCounter(next) }
-
-// Deprecated: use From(...).DaySort() or Chain().DaySort().Into(next).
-func NewDaySortStage(next RecordSink) *DaySortStage { return pipeline.NewDaySort(next) }
-
 // NewWindowSortStage returns the bounded-lateness streaming reorder
 // stage outside a builder chain; prefer From(...).WindowSort(window)
-// or Chain().WindowSort(window).Into(next).
+// or Chain().WindowSort(window).Into(next). Call EnableSpill on the
+// stage (or use the builder's WindowSortSpill) to absorb
+// beyond-window disorder through sorted on-disk runs instead of
+// aborting with *ErrLateRecord.
 func NewWindowSortStage(window time.Duration, next RecordSink) *WindowSortStage {
 	return pipeline.NewWindowSort(window, next)
-}
-
-// Deprecated: use From(...).Artifact(f) or Chain().Artifact(f).Into(next).
-func NewArtifactStage(f *ArtifactFilter, next RecordSink) *ArtifactStage {
-	return pipeline.NewArtifactStage(f, next)
 }
 
 // Pipeline sink constructors.
@@ -420,6 +426,44 @@ func CollectorSink(add func(Record)) RecordSink { return pipeline.Collector(add)
 
 // DiscardSink drops every record; useful as a tee-branch terminator.
 var DiscardSink = pipeline.Discard
+
+// Durable-state facade: versioned checkpoint snapshots of terminal
+// sink state and resume from them (see the package-doc "Checkpoint
+// and resume" section).
+type (
+	// Checkpointer is implemented by terminal sinks that can snapshot
+	// their state at a consistent stream-time cut — all built-in
+	// detector and IDS sinks, plain and sharded.
+	Checkpointer = pipeline.Checkpointer
+	// ResumedSink is a terminal rebuilt from a checkpoint: the
+	// restored Sink plus the Horizon to skip the replayed input to.
+	ResumedSink = pipeline.Resumed
+)
+
+// Snapshot kinds reported in ResumedSink.Kind.
+const (
+	CheckpointKindDetector = checkpoint.KindDetector
+	CheckpointKindIDS      = checkpoint.KindIDS
+)
+
+// LatestCheckpoint returns the newest checkpoint file in dir, or ""
+// when there is none.
+func LatestCheckpoint(dir string) (string, error) { return pipeline.LatestCheckpoint(dir) }
+
+// ResumeCheckpoint rebuilds a terminal sink from a checkpoint file,
+// sharded across shards workers when shards > 1 — the count need not
+// match the one the snapshot was taken at.
+func ResumeCheckpoint(path string, shards int) (*ResumedSink, error) {
+	return pipeline.ResumeFile(path, shards)
+}
+
+// WriteCheckpoint snapshots a checkpoint-capable sink into dir at the
+// stream-time cut mark, atomically. Builder.CheckpointEvery does this
+// on a cadence; WriteCheckpoint is the manual escape hatch for
+// callers driving a sink directly.
+func WriteCheckpoint(dir string, ck Checkpointer, mark time.Time) error {
+	return pipeline.WriteCheckpoint(dir, ck, mark)
+}
 
 // Simulation facade.
 type (
