@@ -643,6 +643,47 @@ func BenchmarkEndToEndFilteredPipeline(b *testing.B) {
 	})
 }
 
+// BenchmarkMetricsHotPath proves the observability layer stays off the
+// dispatch hot path: the same filtered batch pipeline as
+// BenchmarkEndToEndFilteredPipeline, bare versus threaded through a
+// registered metrics bundle (Builder.Instrument). The instrumented
+// run must match the baseline's allocs/op — the per-batch counters are
+// plain atomics, allocation happens only at registration.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	allowParallelism(b, 9)
+	res := benchRun(b)
+	var recs []Record
+	res.Census.EmitDay(benchStart.Add(48*time.Hour), func(r Record) { recs = append(recs, r) })
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+
+	run := func(b *testing.B, m *PipelineMetrics) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := NewShardedSink(NewShardedDetector(DefaultDetectorConfig(), 8))
+			bl := From(NewSliceSource(recs)).
+				Policy(DefaultCollectPolicy()).
+				Artifact()
+			if m != nil {
+				bl = bl.Instrument(m)
+			}
+			if err := bl.Build(sink).Run(); err != nil {
+				b.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("baseline", func(b *testing.B) {
+		run(b, nil)
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, RegisterPipelineMetrics(NewMetricsRegistry()))
+	})
+}
+
 // benchRecordsIDS synthesizes the IDS benchmark workload. Unlike
 // benchRecords — whose sources all sit inside 2001:db8::/32, fine for
 // the /48-coarsest detector — the IDS tracks /32 as its coarsest

@@ -1,0 +1,166 @@
+// Serve-tail: the daemon serving loop end to end, in-process. A
+// writer goroutine plays the role of the firewall appending to a
+// growing binary log; a ServeDaemon tails it, runs the
+// dynamic-aggregation IDS continuously, and serves HTTP; the main
+// goroutine plays the operator, curling /api/state and /api/alerts
+// until the scanner written into the log comes back as an alert. The
+// same flow from the shell is cmd/v6scand + tools/mklog:
+//
+//	v6scand -i fw.log -listen 127.0.0.1:8080 &
+//	mklog -o fw.log -dsts 150 && mklog -o fw.log -offset 2h -dsts 1
+//	curl http://127.0.0.1:8080/api/alerts
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"v6scan"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "serve-tail")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "fw.log")
+
+	// The daemon: tail the (not yet existing) log, tick stream time
+	// every minute, alert on sources probing ≥20 destinations.
+	d, err := v6scan.NewServeDaemon(v6scan.ServeConfig{
+		LogPath:      logPath,
+		Shards:       4,
+		IDS:          v6scan.IDSConfig{MinDsts: 20, Timeout: 10 * time.Minute},
+		AdvanceEvery: time.Minute,
+		Poll:         5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	// The firewall: a scan burst (one distinct destination per second,
+	// far past MinDsts), then benign singletons walking stream time
+	// forward so the eviction clock ticks past the scanner's idle
+	// timeout.
+	go appendTraffic(logPath)
+
+	// The operator: poll until the alert shows up.
+	fmt.Println("serving on", base)
+	for i := 0; ; i++ {
+		body := get(base + "/api/alerts")
+		if i%50 == 0 {
+			fmt.Printf("state: %s\n", get(base+"/api/state"))
+		}
+		var page struct {
+			Total  int              `json:"total"`
+			Alerts []map[string]any `json:"alerts"`
+		}
+		if err := json.Unmarshal(body, &page); err != nil {
+			log.Fatal(err)
+		}
+		if page.Total > 0 {
+			fmt.Printf("alert: %v scanned %v destinations (level %v)\n",
+				page.Alerts[0]["prefix"], page.Alerts[0]["estimated_dsts"], page.Alerts[0]["level"])
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Clean shutdown: cancel drains the tail, the daemon cuts its
+	// final state, Run returns.
+	cancel()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	srv.Shutdown(context.Background())
+	fmt.Println("stopped cleanly")
+}
+
+// appendTraffic writes the scan plus the clock-driving fillers to the
+// log in two appends, flushing after each so the tail sees them.
+func appendTraffic(path string) {
+	epoch := time.Date(2021, 5, 20, 0, 0, 0, 0, time.UTC)
+	scanner := netip.MustParseAddr("2001:db8:bad::1")
+	dst := netip.MustParseAddr("2001:db8:ffff::")
+	var scan []v6scan.Record
+	for i := 0; i < 30; i++ {
+		scan = append(scan, v6scan.Record{
+			Time: epoch.Add(time.Duration(i) * time.Second),
+			Src:  scanner, Dst: addrPlus(dst, uint64(i+1)),
+		})
+	}
+	appendRecords(path, scan)
+
+	benign := netip.MustParseAddr("2001:db8:600d::")
+	var fillers []v6scan.Record
+	for m := 1; m <= 15; m++ {
+		fillers = append(fillers, v6scan.Record{
+			Time: epoch.Add(time.Duration(m) * time.Minute),
+			Src:  addrPlus(benign, uint64(m)), Dst: addrPlus(dst, 1),
+		})
+	}
+	appendRecords(path, fillers)
+}
+
+func appendRecords(path string, recs []v6scan.Record) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := v6scan.WriteLog(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func addrPlus(a netip.Addr, n uint64) netip.Addr {
+	b := a.As16()
+	for i := 15; i >= 8 && n > 0; i-- {
+		s := uint64(b[i]) + (n & 0xff)
+		b[i] = byte(s)
+		n = (n >> 8) + (s >> 8)
+	}
+	return netip.AddrFrom16(b)
+}

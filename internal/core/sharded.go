@@ -77,6 +77,11 @@ func (sd *ShardedDetector) Config() Config { return sd.cfg }
 // NumShards returns the worker count.
 func (sd *ShardedDetector) NumShards() int { return len(sd.shards) }
 
+// QueueDepth reports the dispatcher's buffered work-unit backlog,
+// summed over shards. Safe from any goroutine (see
+// dispatch.Dispatcher.QueueDepth).
+func (sd *ShardedDetector) QueueDepth() int { return sd.disp.QueueDepth() }
+
 // Process ingests one record, staging it until a batch accumulates.
 // Records must be in non-decreasing time order, as for Detector.
 func (sd *ShardedDetector) Process(r firewall.Record) error {

@@ -90,12 +90,26 @@ func Partition(src netip.Addr, level netaddr6.AggLevel, n int) int {
 // to the largest batch dispatched and then stabilize.
 var batchPool = sync.Pool{New: func() any { return new([]firewall.Record) }}
 
+// poolGets and poolMisses count GetBatch calls and the subset that
+// had to allocate (pool empty or buffer under capacity). Their ratio
+// is the pool hit rate the metrics registry exports; atomic because
+// every pipeline goroutine touches the pool.
+var poolGets, poolMisses atomic.Uint64
+
+// PoolStats reports GetBatch traffic: total gets and the misses that
+// allocated a fresh or larger buffer. Safe from any goroutine.
+func PoolStats() (gets, misses uint64) {
+	return poolGets.Load(), poolMisses.Load()
+}
+
 // GetBatch returns an empty pooled record buffer with at least the
 // given capacity. Pair with PutBatch when the buffer is no longer
 // referenced anywhere (see the package doc's ownership model).
 func GetBatch(capacity int) *[]firewall.Record {
+	poolGets.Add(1)
 	b := batchPool.Get().(*[]firewall.Record)
 	if cap(*b) < capacity {
+		poolMisses.Add(1)
 		*b = make([]firewall.Record, 0, capacity)
 	} else {
 		*b = (*b)[:0]
@@ -213,6 +227,20 @@ func New(cfg Config, w Worker) *Dispatcher {
 
 // NumShards returns the worker count.
 func (d *Dispatcher) NumShards() int { return d.n }
+
+// QueueDepth reports the number of work units currently buffered in
+// the shard channels, summed over shards — the backlog the workers
+// have not yet picked up. Unlike every other method it is safe from
+// any goroutine (len on a channel is a synchronized runtime read), so
+// a metrics scrape can watch backpressure while the dispatching
+// goroutine runs. The value is instantaneously stale by nature.
+func (d *Dispatcher) QueueDepth() int {
+	depth := 0
+	for _, ch := range d.chans {
+		depth += len(ch)
+	}
+	return depth
+}
 
 // Err returns the first worker error, if any.
 func (d *Dispatcher) Err() error {

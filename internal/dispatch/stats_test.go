@@ -1,0 +1,39 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"v6scan/internal/firewall"
+)
+
+func TestPoolStats(t *testing.T) {
+	gets0, misses0 := PoolStats()
+	b := GetBatch(64)
+	PutBatch(b)
+	b = GetBatch(64) // likely a hit, but the pool may shed under GC
+	PutBatch(b)
+	gets1, misses1 := PoolStats()
+	if got := gets1 - gets0; got != 2 {
+		t.Fatalf("gets delta = %d, want 2", got)
+	}
+	if misses1 < misses0 {
+		t.Fatal("miss counter went backwards")
+	}
+	if misses1-misses0 > 2 {
+		t.Fatalf("miss delta = %d, want ≤ 2", misses1-misses0)
+	}
+}
+
+func TestQueueDepthDrainsToZero(t *testing.T) {
+	d := New(Config{Shards: 4}, func(shard int, recs []firewall.Record, mark time.Time) error {
+		return nil
+	})
+	defer d.Close()
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after barrier = %d, want 0", got)
+	}
+}

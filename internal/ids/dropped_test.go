@@ -1,0 +1,99 @@
+package ids
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"v6scan/internal/firewall"
+	"v6scan/internal/netaddr6"
+)
+
+// droppedRecords builds records from many distinct /128 sources so a
+// tiny MaxCandidates bound must reject most of them.
+func droppedRecords(n int) []firewall.Record {
+	base := time.Date(2021, 5, 20, 0, 0, 0, 0, time.UTC)
+	recs := make([]firewall.Record, 0, n)
+	for i := 0; i < n; i++ {
+		src := netip.MustParseAddr(fmt.Sprintf("2001:db8:%x::%x", i>>8, i&0xff+1))
+		recs = append(recs, firewall.Record{
+			Time: base.Add(time.Duration(i) * time.Second),
+			Src:  src,
+			Dst:  netip.MustParseAddr("2001:db8:ffff::1"),
+		})
+	}
+	return recs
+}
+
+func TestDroppedCandidatesCounter(t *testing.T) {
+	cfg := Config{MaxCandidates: 4, Levels: []netaddr6.AggLevel{netaddr6.Agg128}}
+	e := New(cfg)
+	for _, r := range droppedRecords(64) {
+		e.Process(r)
+	}
+	// 64 distinct /128 sources against a 4-candidate table: 60 drops.
+	if got := e.DroppedCandidates(); got != 60 {
+		t.Fatalf("DroppedCandidates = %d, want 60", got)
+	}
+}
+
+// TestDroppedCandidatesConcurrentRead reads the drop counter from a
+// scrape goroutine while the engine processes — the access pattern the
+// metrics registry uses — and must stay race-clean.
+func TestDroppedCandidatesConcurrentRead(t *testing.T) {
+	cfg := Config{MaxCandidates: 2, Levels: []netaddr6.AggLevel{netaddr6.Agg128}}
+	e := New(cfg)
+	recs := droppedRecords(2048)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if v := e.DroppedCandidates(); v < last {
+				t.Error("drop counter went backwards")
+				return
+			} else {
+				last = v
+			}
+		}
+	}()
+	for _, r := range recs {
+		e.Process(r)
+	}
+	close(done)
+	wg.Wait()
+	if got := e.DroppedCandidates(); got != 2046 {
+		t.Fatalf("DroppedCandidates = %d, want 2046", got)
+	}
+}
+
+func TestDroppedPerShard(t *testing.T) {
+	cfg := Config{MaxCandidates: 2, Levels: []netaddr6.AggLevel{netaddr6.Agg128, netaddr6.Agg32}}
+	se := NewSharded(cfg, 4)
+	recs := droppedRecords(512)
+	se.ProcessBatch(recs)
+	se.Flush()
+	per := se.DroppedPerShard()
+	if len(per) != 4 {
+		t.Fatalf("DroppedPerShard len = %d, want 4", len(per))
+	}
+	var sum uint64
+	for _, v := range per {
+		sum += v
+	}
+	if total := se.DroppedCandidates(); sum != total {
+		t.Fatalf("per-shard sum %d != total %d", sum, total)
+	}
+	if sum == 0 {
+		t.Fatal("expected drops with MaxCandidates=2 and 512 sources")
+	}
+}

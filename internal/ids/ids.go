@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"v6scan/internal/core"
@@ -234,8 +235,11 @@ type Engine struct {
 
 	// alerts accumulated since the last Drain.
 	alerts []Alert
-	// dropped counts candidates rejected by MaxCandidates.
-	dropped uint64
+	// dropped counts candidates rejected by MaxCandidates. Atomic so
+	// observability surfaces (the metrics registry, a serving daemon's
+	// state endpoint) can read it from any goroutine while the engine
+	// processes on its own — the only engine field with that property.
+	dropped atomic.Uint64
 }
 
 // New returns an engine.
@@ -287,7 +291,7 @@ func (e *Engine) Process(r firewall.Record) {
 		c := lv.candidates[key]
 		if c == nil {
 			if len(lv.candidates) >= e.cfg.MaxCandidates {
-				e.dropped++
+				e.dropped.Add(1)
 				continue
 			}
 			c = lv.newCandidate()
@@ -445,5 +449,7 @@ func (e *Engine) sweep(all bool) {
 }
 
 // DroppedCandidates reports how many candidates were rejected by the
-// MaxCandidates bound.
-func (e *Engine) DroppedCandidates() uint64 { return e.dropped }
+// MaxCandidates bound. Unlike every other accessor it is safe from
+// any goroutine: the counter is atomic, so metrics scrapes read it
+// without synchronizing with the processing goroutine.
+func (e *Engine) DroppedCandidates() uint64 { return e.dropped.Load() }

@@ -84,6 +84,12 @@ func (se *ShardedEngine) Config() Config { return se.cfg }
 // NumShards returns the worker count.
 func (se *ShardedEngine) NumShards() int { return len(se.shards) }
 
+// QueueDepth reports the dispatcher's buffered work-unit backlog,
+// summed over shards. Safe from any goroutine (see
+// dispatch.Dispatcher.QueueDepth); the metrics registry exports it as
+// a gauge.
+func (se *ShardedEngine) QueueDepth() int { return se.disp.QueueDepth() }
+
 // Process ingests one record, staging it until a batch accumulates.
 func (se *ShardedEngine) Process(r firewall.Record) {
 	if se.flushed {
@@ -185,13 +191,27 @@ func (se *ShardedEngine) MemoryBytes() int {
 // applies the bound to its own tables, so a sharded engine may admit
 // up to n times more candidates than a single engine with the same
 // configuration.
+//
+// The per-shard counters are atomic, so — unlike Candidates or
+// MemoryBytes — this is safe from any goroutine without a dispatcher
+// barrier; a concurrent read may lag batches still in flight.
 func (se *ShardedEngine) DroppedCandidates() uint64 {
-	se.sync()
 	var total uint64
 	for _, e := range se.shards {
 		total += e.DroppedCandidates()
 	}
 	return total
+}
+
+// DroppedPerShard returns each shard's MaxCandidates drop count,
+// indexed by shard. Safe from any goroutine (see DroppedCandidates);
+// the metrics registry exports one labeled series per entry.
+func (se *ShardedEngine) DroppedPerShard() []uint64 {
+	out := make([]uint64, len(se.shards))
+	for i, e := range se.shards {
+		out[i] = e.DroppedCandidates()
+	}
+	return out
 }
 
 // sync makes shard state safe to read from the dispatching goroutine:

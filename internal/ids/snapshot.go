@@ -135,7 +135,7 @@ func snapshotEngines(w io.Writer, cfg Config, engines []*Engine, mark time.Time)
 		if eng.now.After(now) {
 			now = eng.now
 		}
-		dropped += eng.dropped
+		dropped += eng.dropped.Load()
 		alerts = append(alerts, eng.alerts...)
 	}
 	sort.Slice(alerts, func(i, j int) bool { return alertLess(&alerts[i], &alerts[j]) })
@@ -215,7 +215,7 @@ func restoreEngines(cr *checkpoint.Reader, n int, mk func(cfg Config) []*Engine)
 			for _, eng := range engines {
 				eng.now = now
 			}
-			engines[0].dropped = dec.Uvarint()
+			engines[0].dropped.Store(dec.Uvarint())
 			alertN := dec.Uvarint()
 			for i := uint64(0); i < alertN && dec.Err() == nil; i++ {
 				engines[0].alerts = append(engines[0].alerts, decodeAlert(dec))

@@ -1,0 +1,340 @@
+// Package metrics is a dependency-free instrumentation registry:
+// atomic counters, gauges, and histograms with Prometheus text
+// exposition. It exists so the pipeline, the dispatcher, and the
+// serving daemon can share one observability surface without pulling
+// a client library into a repository whose other dependencies are the
+// standard library alone.
+//
+// # Hot-path discipline
+//
+// Instruments are allocated once at registration; every update after
+// that is a single atomic add or store. All instrument methods are
+// nil-safe no-ops, so instrumented code never branches on "is metrics
+// enabled" — an uninstrumented pipeline carries nil instrument
+// pointers and pays only the nil check. Nothing in an update path
+// allocates, which is what lets the instrumented pipeline hold
+// allocs/op exactly flat (see BenchmarkMetricsHotPath).
+//
+// # Exposition
+//
+// Registry.WritePrometheus renders the classic text format
+// (version 0.0.4): HELP/TYPE headers, cumulative histogram buckets
+// with +Inf, _sum and _count series. Families render in registration
+// order, so output is deterministic and diffable.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is
+// usable; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n int) {
+	if c != nil && n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is usable;
+// a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments by delta (CAS loop; contention on a gauge is rare).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets (Prometheus
+// convention: bucket i counts observations ≤ UpperBounds[i], with an
+// implicit +Inf bucket). A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists here are short (≤ ~16) and the scan is
+	// branch-predictable, beating a binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// kind discriminates how a family renders.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels string // pre-rendered {k="v",...} or ""
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+	hist   *Histogram
+}
+
+// family is one metric name with HELP/TYPE and its labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []series
+}
+
+// Registry holds registered instruments and renders them. The zero
+// value is not usable; call NewRegistry. Registration is mutex-guarded
+// (it happens at setup time); updates to registered instruments are
+// lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	index    map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*family)}
+}
+
+// renderLabels formats a label set deterministically (sorted by key).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register adds a series to the named family, creating the family on
+// first use and verifying kind consistency afterwards.
+func (r *Registry) register(name, help string, k kind, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.index[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k}
+		r.index[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != k {
+		panic("metrics: " + name + " registered with conflicting kinds")
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter. Registering the same name
+// with different labels adds a series to the family.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, series{labels: renderLabels(labels), ctr: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels map[string]string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, series{labels: renderLabels(labels), gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, series{labels: renderLabels(labels), fn: fn})
+}
+
+// Histogram registers and returns a histogram with the given upper
+// bounds (must be sorted ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, labels map[string]string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not strictly ascending: " + name)
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	r.register(name, help, kindHistogram, series{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+// formatValue renders a float the way Prometheus expects (integers
+// without a mantissa, +Inf spelled out).
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		typ := "counter"
+		switch f.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.ctr.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.gauge.Value()))
+			case kindGaugeFunc:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+			case kindHistogram:
+				err = writeHistogram(w, f.name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets,
+// then _sum and _count.
+func writeHistogram(w io.Writer, name string, s series) error {
+	h := s.hist
+	// Splice the le label into any existing label set.
+	open := "{"
+	if s.labels != "" {
+		open = s.labels[:len(s.labels)-1] + ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n",
+			name, open, formatValue(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	return err
+}

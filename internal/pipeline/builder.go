@@ -50,7 +50,11 @@ type Builder struct {
 	// sinks, plain and sharded).
 	ckptEvery time.Duration
 	ckptDir   string
-	spent     bool
+	// met is the metrics bundle Instrument attached: Build mounts a
+	// meter stage ahead of every other stage, and RunInto hands the
+	// bundle to the terminal sink for cadence/checkpoint timing.
+	met   *Metrics
+	spent bool
 }
 
 // From starts a builder reading from src.
@@ -189,6 +193,18 @@ func (b *Builder) CheckpointEvery(every time.Duration, dir string) *Builder {
 	return b
 }
 
+// Instrument attaches a metrics bundle (RegisterMetrics) to the
+// pipeline: a batch-native meter stage mounted ahead of every other
+// stage counts raw source output (records, batches, occupancy), and
+// the terminal sink — any of the four built-ins — reports eviction
+// fires and checkpoint outcomes into the same bundle. Instrumentation
+// is allocation-free per record, so an instrumented pipeline's
+// allocs/op match the uninstrumented one (BenchmarkMetricsHotPath).
+func (b *Builder) Instrument(m *Metrics) *Builder {
+	b.met = m
+	return b
+}
+
 // ResumeFrom appends a filter dropping every record at or before
 // horizon — the replay-skip half of checkpoint resume. Feed the same
 // input the interrupted run saw, restore its sink (Resume), and the
@@ -275,6 +291,9 @@ func (b *Builder) Build(sink RecordSink) *Pipeline {
 			batched = false
 		}
 	}
+	if b.met != nil {
+		head = &meterStage{m: b.met, next: head}
+	}
 	p := New(b.src, head)
 	p.batched = p.batched && batched
 	return p
@@ -294,6 +313,11 @@ func (b *Builder) RunInto(ctx context.Context, sink RecordSink) error {
 	if b.ckptEvery > 0 && b.ckptDir != "" {
 		if cs, ok := sink.(interface{ setCheckpoint(time.Duration, string) }); ok {
 			cs.setCheckpoint(b.ckptEvery, b.ckptDir)
+		}
+	}
+	if b.met != nil {
+		if ms, ok := sink.(interface{ setMetrics(*Metrics) }); ok {
+			ms.setMetrics(b.met)
 		}
 	}
 	branches := b.branches

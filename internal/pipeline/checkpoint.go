@@ -44,7 +44,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -71,6 +71,11 @@ type checkpointPolicy struct {
 	CheckpointEvery time.Duration
 	CheckpointDir   string
 	lastCkpt        time.Time
+	// met is the sink's metrics bundle (nil when uninstrumented). It
+	// lives on the embedded policy so every terminal sink gets the
+	// setMetrics hook, the advance-fire counter, and checkpoint timing
+	// from one place.
+	met *Metrics
 }
 
 // setCheckpoint lets Builder.CheckpointEvery reach a sink through
@@ -78,6 +83,19 @@ type checkpointPolicy struct {
 func (p *checkpointPolicy) setCheckpoint(every time.Duration, dir string) {
 	p.CheckpointEvery = every
 	p.CheckpointDir = dir
+}
+
+// setMetrics lets Builder.Instrument reach a sink through RunInto,
+// mirroring setCadence. Promoted onto all four terminal sinks by
+// embedding.
+func (p *checkpointPolicy) setMetrics(m *Metrics) { p.met = m }
+
+// writeTimed is WriteCheckpoint with duration/outcome instrumentation.
+func (p *checkpointPolicy) writeTimed(ck Checkpointer, t time.Time) error {
+	start := time.Now()
+	err := WriteCheckpoint(p.CheckpointDir, ck, t)
+	p.met.checkpointDone(time.Since(start), err)
+	return err
 }
 
 // enabled reports whether the policy should participate in the
@@ -94,7 +112,7 @@ func (p *checkpointPolicy) enabled() bool {
 // above on resume phase).
 func (p *checkpointPolicy) maybeCheckpoint(ck Checkpointer, t time.Time) error {
 	if p.enabled() && due(&p.lastCkpt, p.CheckpointEvery, t) {
-		return WriteCheckpoint(p.CheckpointDir, ck, t)
+		return p.writeTimed(ck, t)
 	}
 	return nil
 }
@@ -108,20 +126,18 @@ func (p *checkpointPolicy) maybeCheckpoint(ck Checkpointer, t time.Time) error {
 func (p *checkpointPolicy) cadences(ck Checkpointer, advEvery time.Duration,
 	lastAdv *time.Time, advFire func(time.Time) error) []cadence {
 	if advEvery > 0 {
-		fire := advFire
-		if p.enabled() {
-			fire = func(t time.Time) error {
-				if err := advFire(t); err != nil {
-					return err
-				}
-				return p.maybeCheckpoint(ck, t)
+		fire := func(t time.Time) error {
+			if err := advFire(t); err != nil {
+				return err
 			}
+			p.met.advanceFired(t)
+			return p.maybeCheckpoint(ck, t)
 		}
 		return []cadence{{lastAdv, advEvery, fire}}
 	}
 	if p.enabled() {
 		return []cadence{{&p.lastCkpt, p.CheckpointEvery,
-			func(t time.Time) error { return WriteCheckpoint(p.CheckpointDir, ck, t) }}}
+			func(t time.Time) error { return p.writeTimed(ck, t) }}}
 	}
 	return nil
 }
@@ -130,6 +146,13 @@ func (p *checkpointPolicy) cadences(ck Checkpointer, advEvery time.Duration,
 // is stream-time order.
 func checkpointFileName(mark time.Time) string {
 	return fmt.Sprintf("%020d.ckpt", mark.UnixNano())
+}
+
+// CheckpointPath returns the path WriteCheckpoint publishes a cut at
+// mark under — for callers that place sidecar files next to a
+// checkpoint (the serve daemon's cadence-phase marks).
+func CheckpointPath(dir string, mark time.Time) string {
+	return filepath.Join(dir, checkpointFileName(mark))
 }
 
 // WriteCheckpoint writes one snapshot of ck at mark into dir,
@@ -167,9 +190,36 @@ func WriteCheckpoint(dir string, ck Checkpointer, mark time.Time) error {
 	return nil
 }
 
+// checkpointMark parses the mark out of a checkpoint file name.
+// Only names of the exact form WriteCheckpoint produces — an
+// all-digit stem plus ".ckpt" — qualify; anything else (temp files
+// from interrupted writes, sidecar files, stray directory content)
+// reports ok=false and is skipped.
+func checkpointMark(name string) (mark int64, ok bool) {
+	stem, found := strings.CutSuffix(name, ".ckpt")
+	if !found || stem == "" || len(stem) > 20 {
+		return 0, false
+	}
+	for _, c := range stem {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.ParseInt(stem, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
 // LatestCheckpoint returns the path of the newest checkpoint in dir
-// (the one with the largest mark), or "" when the directory holds
-// none. Temp files from interrupted writes are ignored.
+// (the one with the largest parsed mark), or "" when the directory
+// holds none. Entries that are not well-formed checkpoint files —
+// leftover ".ckpt-*" temp files, sidecar files, non-numeric stems,
+// subdirectories — are ignored, so a dirty directory (crashed writer,
+// operator droppings) never confuses resume. When two names parse to
+// the same mark (e.g. differing zero-padding), the lexically greatest
+// name wins, a deterministic tie-break.
 func LatestCheckpoint(dir string) (string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -178,18 +228,25 @@ func LatestCheckpoint(dir string) (string, error) {
 		}
 		return "", err
 	}
-	var names []string
+	best := ""
+	var bestMark int64
 	for _, e := range entries {
 		name := e.Name()
-		if e.Type().IsRegular() && strings.HasSuffix(name, ".ckpt") && !strings.HasPrefix(name, ".") {
-			names = append(names, name)
+		if !e.Type().IsRegular() {
+			continue
+		}
+		mark, ok := checkpointMark(name)
+		if !ok {
+			continue
+		}
+		if best == "" || mark > bestMark || (mark == bestMark && name > best) {
+			best, bestMark = name, mark
 		}
 	}
-	if len(names) == 0 {
+	if best == "" {
 		return "", nil
 	}
-	sort.Strings(names)
-	return filepath.Join(dir, names[len(names)-1]), nil
+	return filepath.Join(dir, best), nil
 }
 
 // Resumed is a terminal sink rebuilt from a checkpoint, plus what a

@@ -576,3 +576,60 @@ func TestResumeKindDispatch(t *testing.T) {
 		})
 	}
 }
+
+// TestLatestCheckpointDirtyDir: a checkpoint directory littered with
+// everything a crashed writer, a sidecar-writing daemon, or a stray
+// operator can leave behind still resolves to the well-formed file
+// with the largest mark — and equal marks break ties toward the
+// lexically greatest name, deterministically.
+func TestLatestCheckpointDirtyDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Junk of every stripe: interrupted-write temp files, sidecars,
+	// non-numeric stems, a subdirectory named like a checkpoint, an
+	// overlong stem, and an extensionless number.
+	write(".ckpt-tmp4567")
+	write("00000000000000000042.ckpt-partial")
+	write("00000000000000000042.ckpt.marks")
+	write("latest.ckpt")
+	write("notes.txt")
+	write("123456789012345678901.ckpt") // 21 digits: overflow bait
+	write("42")
+	if err := os.Mkdir(filepath.Join(dir, "00000000000000000099.ckpt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only junk: no checkpoint to find.
+	if path, err := LatestCheckpoint(dir); err != nil || path != "" {
+		t.Fatalf("junk-only dir: LatestCheckpoint = (%q, %v), want (\"\", nil)", path, err)
+	}
+
+	// Real checkpoints: the largest mark wins even though shorter
+	// names sort lexically before longer zero-padded ones.
+	write("00000000000000000042.ckpt")
+	write("7.ckpt")
+	path, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "00000000000000000042.ckpt"); path != want {
+		t.Fatalf("LatestCheckpoint = %q, want %q", path, want)
+	}
+
+	// Equal marks under different paddings: lexically greatest name is
+	// the deterministic winner.
+	write("042.ckpt")
+	write("0000000000000000000042.ckpt") // 22 digits: ignored, too long
+	path, err = LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "042.ckpt"); path != want {
+		t.Fatalf("tie-break: LatestCheckpoint = %q, want %q", path, want)
+	}
+}

@@ -133,6 +133,41 @@
 //     shards), so restoring at a different shard count re-partitions
 //     deterministically and Snapshot∘Restore∘Snapshot is
 //     byte-identity.
+//
+// # Serving
+//
+// TailSource is the follow-mode counterpart of LogSource: it polls a
+// growing binary log, emits every whole record as soon as it is
+// durable, holds a torn trailing write until its remaining bytes
+// land, and ends — cleanly, after a final drain of everything durable
+// — when its TailConfig.Context is cancelled. It is the ingestion
+// edge of the serve daemon (internal/serve, cmd/v6scand), but plugs
+// into any pipeline like a finite source.
+//
+// Ownership and rotation rules:
+//
+//   - A TailSource is single-use and single-goroutine like every
+//     other source; only the pipeline's run goroutine may call
+//     Emit/EmitBatch, and Stats is safe only from code inside that
+//     pipeline or after the run ends. Emitted batches follow the
+//     standard pooled-batch loan.
+//   - The tailed file must grow by appends in non-decreasing record
+//     time; the tail never re-reads bytes behind its offset.
+//   - Rename-and-recreate rotation is detected by file identity: once
+//     the path points at a new file, the old handle is drained one
+//     last time and reading restarts at the new file's start. The
+//     writer must stop appending to the old file BEFORE creating the
+//     new one — records appended to a renamed file after the tail's
+//     final drain of it are lost. In-place truncation (same inode,
+//     size shrinks) restarts the offset at zero.
+//
+// The serving layer on top (internal/serve) adds the read-side
+// contract: detection state is owned by the pipeline goroutine alone;
+// HTTP handlers read immutable published snapshots. Its SSE alert
+// stream applies backpressure by shedding, never by blocking — each
+// client has a bounded buffer, a slow client's overflow drops alerts
+// for that client only (counted per client and globally), and a
+// bounded in-memory ring serves pagination and reconnect backlog.
 package pipeline
 
 import (

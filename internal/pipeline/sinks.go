@@ -89,6 +89,7 @@ func (s *DetectorSink) Consume(r firewall.Record) error {
 	switch {
 	case due(&s.lastAdvance, s.AdvanceEvery, r.Time):
 		s.D.Advance(r.Time)
+		s.met.advanceFired(r.Time)
 		if err := s.maybeCheckpoint(s, r.Time); err != nil {
 			return err
 		}
@@ -164,6 +165,7 @@ func (s *ShardedSink) Consume(r firewall.Record) error {
 		if err := s.D.Advance(r.Time); err != nil {
 			return err
 		}
+		s.met.advanceFired(r.Time)
 		if err := s.maybeCheckpoint(s, r.Time); err != nil {
 			return err
 		}
@@ -286,6 +288,7 @@ func (s *IDSSink) Consume(r firewall.Record) error {
 	switch {
 	case due(&s.lastAdvance, adv, r.Time):
 		s.E.Tick(r.Time)
+		s.met.advanceFired(r.Time)
 		if err := s.maybeCheckpoint(s, r.Time); err != nil {
 			return err
 		}
@@ -369,6 +372,7 @@ func (s *ShardedIDSSink) Consume(r firewall.Record) error {
 	switch {
 	case due(&s.lastAdvance, adv, r.Time):
 		s.E.Tick(r.Time)
+		s.met.advanceFired(r.Time)
 		if err := s.maybeCheckpoint(s, r.Time); err != nil {
 			return err
 		}

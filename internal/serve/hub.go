@@ -1,0 +1,156 @@
+package serve
+
+// Alert fan-out: a bounded ring of published alerts (the pagination
+// backlog behind /api/alerts) plus live SSE subscribers with bounded
+// per-client buffers. Slow clients never block the pipeline: when a
+// subscriber's buffer is full the alert is dropped for that client
+// and counted, which is the whole backpressure policy (see the
+// pipeline package doc, "Serving").
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"v6scan/internal/ids"
+)
+
+// SeqAlert is one published alert with its daemon-lifetime sequence
+// number. Sequence numbers start at 0 and never repeat, so a client
+// that reconnects with ?from=<last seen+1> resumes without loss as
+// long as the backlog still covers that point.
+type SeqAlert struct {
+	Seq   uint64
+	Alert ids.Alert
+}
+
+// MarshalJSON renders the API wire shape: flat snake_case fields with
+// the prefix and level as strings, stable across internal refactors
+// of ids.Alert.
+func (sa SeqAlert) MarshalJSON() ([]byte, error) {
+	a := sa.Alert
+	return json.Marshal(struct {
+		Seq           uint64    `json:"seq"`
+		Prefix        string    `json:"prefix"`
+		Level         string    `json:"level"`
+		EstimatedDsts uint64    `json:"estimated_dsts"`
+		Packets       uint64    `json:"packets"`
+		First         time.Time `json:"first"`
+		Last          time.Time `json:"last"`
+		Escalated     bool      `json:"escalated,omitempty"`
+	}{sa.Seq, a.Prefix.String(), a.Level.String(), a.EstimatedDsts,
+		a.Packets, a.First, a.Last, a.Escalated})
+}
+
+// subscriber is one live SSE client.
+type subscriber struct {
+	ch      chan SeqAlert
+	dropped uint64 // alerts this client missed; guarded by hub.mu
+}
+
+// hub owns the alert ring and the subscriber set. All fields are
+// guarded by mu; publish runs on the pipeline's dispatching goroutine,
+// subscribe/unsubscribe and the read accessors run on HTTP handler
+// goroutines.
+type hub struct {
+	mu       sync.Mutex
+	ring     []SeqAlert // ring[i].Seq == firstSeq+i, len ≤ capHint
+	firstSeq uint64
+	nextSeq  uint64 // == total alerts ever published
+	subs     map[*subscriber]struct{}
+	dropped  uint64 // total alerts dropped across all slow clients
+	capHint  int    // ring bound
+	bufHint  int    // per-subscriber channel buffer
+}
+
+func newHub(backlog, buffer int) *hub {
+	if backlog <= 0 {
+		backlog = 4096
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	return &hub{subs: make(map[*subscriber]struct{}), capHint: backlog, bufHint: buffer}
+}
+
+// publish assigns sequence numbers to a batch of alerts, appends them
+// to the ring (evicting the oldest past the bound), and offers each to
+// every subscriber without blocking.
+func (h *hub) publish(alerts []ids.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, a := range alerts {
+		sa := SeqAlert{Seq: h.nextSeq, Alert: a}
+		h.nextSeq++
+		h.ring = append(h.ring, sa)
+		for s := range h.subs {
+			select {
+			case s.ch <- sa:
+			default:
+				s.dropped++
+				h.dropped++
+			}
+		}
+	}
+	if over := len(h.ring) - h.capHint; over > 0 {
+		h.ring = append(h.ring[:0], h.ring[over:]...)
+		h.firstSeq += uint64(over)
+	}
+}
+
+// subscribe registers a new client and returns the backlog of ring
+// entries with Seq ≥ from. Backlog collection and registration happen
+// under one lock acquisition, so the backlog plus the channel stream
+// is gapless and duplicate-free.
+func (h *hub) subscribe(from uint64) (*subscriber, []SeqAlert) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &subscriber{ch: make(chan SeqAlert, h.bufHint)}
+	h.subs[s] = struct{}{}
+	var backlog []SeqAlert
+	for _, sa := range h.ring {
+		if sa.Seq >= from {
+			backlog = append(backlog, sa)
+		}
+	}
+	return s, backlog
+}
+
+// unsubscribe removes a client; its channel is left to the garbage
+// collector (publish never closes subscriber channels).
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, s)
+}
+
+// page returns up to limit ring entries starting at sequence offset,
+// plus the total published and the oldest retained sequence — the
+// /api/alerts pagination contract.
+func (h *hub) page(offset uint64, limit int) (alerts []SeqAlert, total, first uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if offset < h.firstSeq {
+		offset = h.firstSeq
+	}
+	if offset < h.nextSeq {
+		i := int(offset - h.firstSeq)
+		end := len(h.ring)
+		if limit > 0 && i+limit < end {
+			end = i + limit
+		}
+		alerts = append(alerts, h.ring[i:end]...)
+	}
+	return alerts, h.nextSeq, h.firstSeq
+}
+
+// stats reports the subscriber count and the cumulative slow-client
+// drop total; safe from any goroutine (used by the metrics gauges).
+func (h *hub) stats() (clients int, dropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs), h.dropped
+}

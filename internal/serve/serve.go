@@ -1,0 +1,479 @@
+// Package serve is the long-running daemon runtime behind cmd/v6scand:
+// it tails a growing binary firewall log through pipeline.TailSource,
+// runs the dynamic-aggregation IDS continuously with the standard
+// eviction and checkpoint cadences, and serves the results — an HTTP
+// state API, a Server-Sent-Events alert stream, a Prometheus-text
+// metrics endpoint, and an atomically rewritten CIDR blocklist file.
+//
+// # Lifecycle
+//
+// A Daemon runs in generations. Each generation opens the tail, builds
+// a pipeline into the pump (the daemon's terminal sink, which owns the
+// IDS engine), and streams until the run context is cancelled (SIGTERM
+// path: drain what is durable, cut a final checkpoint, exit) or a
+// Reload is requested (SIGHUP path: same drain and final cut, then a
+// new generation resumes from the just-cut state in place — the log is
+// reopened, so a renamed or replaced path is picked up, and an
+// OnReload hook may revise the serving configuration).
+//
+// Crash recovery is the batch CLI's resume story: start the daemon
+// with Config.Resume and it restores the latest checkpoint, replays
+// the log with the already-processed prefix skipped, and continues.
+// Alerts of the exact fire a periodic checkpoint was cut at are
+// re-published on such a resume (at-least-once delivery; see pump.go).
+//
+// # Concurrency
+//
+// The pipeline's dispatching goroutine owns all detection state; HTTP
+// handlers never touch the engine. They read an immutable State
+// snapshot through an atomic pointer, page alerts out of the hub's
+// mutex-guarded ring, and scrape metrics whose instruments are atomic.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"v6scan/internal/checkpoint"
+	"v6scan/internal/ids"
+	"v6scan/internal/metrics"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/pipeline"
+)
+
+// Config parameterizes a Daemon. The zero value is not runnable: at
+// minimum LogPath must be set.
+type Config struct {
+	// LogPath is the binary firewall log to tail. The file may not
+	// exist yet.
+	LogPath string
+	// Shards > 1 runs the sharded IDS engine; 0 or 1 the plain one.
+	Shards int
+	// IDS configures a fresh engine (ignored when state is restored
+	// from a checkpoint: detection parameters travel in the snapshot).
+	IDS ids.Config
+	// AdvanceEvery is the stream-time tick cadence (default one
+	// minute) — the daemon's alerting latency.
+	AdvanceEvery time.Duration
+	// CheckpointEvery / CheckpointDir enable periodic snapshots at
+	// tick-aligned cuts. CheckpointDir alone still gets the final
+	// shutdown snapshot.
+	CheckpointEvery time.Duration
+	CheckpointDir   string
+	// Resume restores the latest checkpoint in CheckpointDir at
+	// startup and skips the already-processed log prefix.
+	Resume bool
+	// Poll is the tail's growth-poll interval (default
+	// pipeline.DefaultTailPoll).
+	Poll time.Duration
+	// ArtifactFilter applies the 5-duplicate artifact pre-filter.
+	ArtifactFilter bool
+	// BlocklistPath, when set, mirrors every alerted prefix into an
+	// atomically rewritten one-CIDR-per-line rule file.
+	BlocklistPath string
+	// AlertBacklog bounds the paginable alert ring (default 4096);
+	// SSEBuffer bounds each SSE client's buffer (default 64).
+	AlertBacklog int
+	SSEBuffer    int
+	// Registry receives the daemon's instruments; a fresh registry is
+	// created when nil. Pass a registry that does not already hold
+	// v6scan_* families.
+	Registry *metrics.Registry
+	// OnReload, when set, is applied to the current config at each
+	// Reload; the next generation serves with the result. Engine
+	// parameters still come from the carried-over state.
+	OnReload func(Config) Config
+}
+
+// State is the immutable serving snapshot behind /healthz, /api/state
+// and /api/sessions. A new value is published on every batch (stream
+// progress) and every tick fire (engine-derived fields); handlers
+// only ever read whole snapshots.
+type State struct {
+	// Generation counts pipeline (re)starts: 1 on first run,
+	// incremented by each reload.
+	Generation int `json:"generation"`
+	// Running is false once the final generation has flushed.
+	Running bool `json:"running"`
+	// StreamTime is the newest record timestamp consumed; Records the
+	// total consumed across all generations.
+	StreamTime time.Time `json:"stream_time"`
+	Records    uint64    `json:"records"`
+	// AlertsPublished counts alerts ever published (the SSE sequence
+	// space).
+	AlertsPublished uint64 `json:"alerts_published"`
+	// Candidates is the IDS working set per aggregation level, as of
+	// the last tick fire.
+	Candidates map[string]int `json:"candidates"`
+	// DroppedCandidates / DroppedPerShard report the MaxCandidates
+	// admission drops (per-shard detail only on a sharded engine).
+	DroppedCandidates uint64   `json:"dropped_candidates"`
+	DroppedPerShard   []uint64 `json:"dropped_per_shard,omitempty"`
+	// QueueDepth is the sharded dispatcher's buffered batch count.
+	QueueDepth int `json:"queue_depth"`
+	// MemoryBytes is the engine's sketch-memory estimate.
+	MemoryBytes int `json:"memory_bytes"`
+	// Tail is the follow-mode source's progress.
+	Tail pipeline.TailStats `json:"tail"`
+	// LastTick and LastCheckpoint are the most recent cadence marks.
+	LastTick       time.Time `json:"last_tick"`
+	LastCheckpoint time.Time `json:"last_checkpoint"`
+	// UpdatedAt is the wall-clock publish instant.
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// Daemon is one serving process: a pipeline generation loop plus the
+// read-side surfaces. Create with NewDaemon, drive with Run, expose
+// with Handler.
+type Daemon struct {
+	cfg      Config
+	reg      *metrics.Registry
+	pm       *pipeline.Metrics
+	sm       serveMetrics
+	hub      *hub
+	block    *blocklist
+	state    atomic.Pointer[State]
+	reloadCh chan struct{}
+	levels   []netaddr6.AggLevel
+}
+
+// serveMetrics are the daemon-level instruments (the pipeline-level
+// ones live in pipeline.Metrics).
+type serveMetrics struct {
+	alerts           *metrics.Counter
+	candidates       map[netaddr6.AggLevel]*metrics.Gauge
+	dropped          *metrics.Gauge
+	droppedPerShard  []*metrics.Gauge
+	queueDepth       *metrics.Gauge
+	memoryBytes      *metrics.Gauge
+	blocklistEntries *metrics.Gauge
+	generation       *metrics.Gauge
+}
+
+// NewDaemon validates cfg and builds the serving surfaces. No
+// goroutines start until Run.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	if cfg.LogPath == "" {
+		return nil, errors.New("serve: Config.LogPath is required")
+	}
+	if cfg.AdvanceEvery <= 0 {
+		cfg.AdvanceEvery = time.Minute
+	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, errors.New("serve: Resume requires CheckpointDir")
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		hub:      newHub(cfg.AlertBacklog, cfg.SSEBuffer),
+		reloadCh: make(chan struct{}, 1),
+		levels:   ids.New(cfg.IDS).Config().Levels,
+	}
+	if cfg.BlocklistPath != "" {
+		d.block = newBlocklist(cfg.BlocklistPath)
+	}
+	d.reg = cfg.Registry
+	if d.reg == nil {
+		d.reg = metrics.NewRegistry()
+	}
+	d.pm = pipeline.RegisterMetrics(d.reg)
+	d.registerServeMetrics()
+	d.state.Store(&State{Candidates: map[string]int{}, UpdatedAt: time.Now()})
+	return d, nil
+}
+
+// registerServeMetrics declares the v6scand_* families.
+func (d *Daemon) registerServeMetrics() {
+	reg := d.reg
+	d.sm.alerts = reg.Counter("v6scand_alerts_total",
+		"IDS alerts published to the hub.", nil)
+	d.sm.dropped = reg.Gauge("v6scand_ids_dropped_candidates",
+		"Candidates rejected by the MaxCandidates bound (as of the last tick).", nil)
+	d.sm.queueDepth = reg.Gauge("v6scand_shard_queue_depth",
+		"Batches buffered in the shard dispatcher (as of the last tick).", nil)
+	d.sm.memoryBytes = reg.Gauge("v6scand_ids_memory_bytes",
+		"IDS sketch-memory estimate (as of the last tick).", nil)
+	d.sm.generation = reg.Gauge("v6scand_generation",
+		"Pipeline generation (increments on reload).", nil)
+	d.sm.candidates = make(map[netaddr6.AggLevel]*metrics.Gauge, len(d.levels))
+	for _, l := range d.levels {
+		d.sm.candidates[l] = reg.Gauge("v6scand_ids_candidates",
+			"IDS candidate working set per aggregation level (as of the last tick).",
+			map[string]string{"level": l.String()})
+	}
+	for i := 0; i < d.shardCount(); i++ {
+		d.sm.droppedPerShard = append(d.sm.droppedPerShard, reg.Gauge(
+			"v6scand_ids_dropped_candidates_shard",
+			"Per-shard MaxCandidates drops (as of the last tick).",
+			map[string]string{"shard": fmt.Sprint(i)}))
+	}
+	if d.block != nil {
+		d.sm.blocklistEntries = reg.Gauge("v6scand_blocklist_entries",
+			"Distinct prefixes in the exported blocklist.", nil)
+	}
+	reg.GaugeFunc("v6scand_sse_clients",
+		"Connected SSE alert-stream clients.", nil,
+		func() float64 { n, _ := d.hub.stats(); return float64(n) })
+	reg.GaugeFunc("v6scand_sse_dropped_total",
+		"Alerts dropped across all slow SSE clients.", nil,
+		func() float64 { _, n := d.hub.stats(); return float64(n) })
+}
+
+// shardCount normalizes Config.Shards.
+func (d *Daemon) shardCount() int {
+	if d.cfg.Shards > 1 {
+		return d.cfg.Shards
+	}
+	return 1
+}
+
+// Registry returns the daemon's metrics registry (also served at
+// /metrics).
+func (d *Daemon) Registry() *metrics.Registry { return d.reg }
+
+// State returns the latest published serving snapshot. Safe from any
+// goroutine; the value is immutable.
+func (d *Daemon) State() *State { return d.state.Load() }
+
+// Reload requests a generation restart (the SIGHUP path): the current
+// generation drains, snapshots, and a new one resumes from that
+// snapshot in place. Coalesces when a reload is already pending.
+func (d *Daemon) Reload() {
+	select {
+	case d.reloadCh <- struct{}{}:
+	default:
+	}
+}
+
+// Run drives the generation loop until ctx is cancelled (after a
+// clean drain and final checkpoint) or a pipeline error. It blocks;
+// start the HTTP server around it.
+func (d *Daemon) Run(ctx context.Context) error {
+	var carry *handoff
+	for gen := 1; ; gen++ {
+		d.sm.generation.Set(float64(gen))
+		p, horizon, err := d.newPump(carry)
+		if err != nil {
+			return err
+		}
+		reloaded, err := d.runGeneration(ctx, gen, p, horizon)
+		if err != nil {
+			return err
+		}
+		if !reloaded {
+			return nil
+		}
+		carry = &p.out
+		if d.cfg.OnReload != nil {
+			d.cfg = d.cfg.OnReload(d.cfg)
+		}
+	}
+}
+
+// runGeneration streams one pipeline until stop or reload; reports
+// which ended it.
+func (d *Daemon) runGeneration(ctx context.Context, gen int, p *pump, horizon time.Time) (reloaded bool, err error) {
+	genCtx, genCancel := context.WithCancel(context.Background())
+	defer genCancel()
+	tail := pipeline.NewTailSource(d.cfg.LogPath, pipeline.TailConfig{
+		Poll:    d.cfg.Poll,
+		Context: genCtx,
+	})
+	p.tail = tail
+	p.generationStart(gen)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	var sawReload atomic.Bool
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-d.reloadCh:
+			sawReload.Store(true)
+		case <-stop:
+		}
+		genCancel() // the tail drains what is durable, then ends cleanly
+	}()
+
+	b := pipeline.From(tail).Instrument(d.pm)
+	if d.cfg.ArtifactFilter {
+		b = b.Artifact()
+	}
+	if !horizon.IsZero() {
+		b = b.ResumeFrom(horizon)
+	}
+	if err := b.RunInto(context.Background(), p); err != nil {
+		return false, err
+	}
+	return sawReload.Load(), nil
+}
+
+// newPump builds a generation's terminal: engine state from the
+// previous generation's handoff, else the latest disk checkpoint
+// (Config.Resume), else fresh. horizon is the replay skip bound for
+// restored state.
+func (d *Daemon) newPump(carry *handoff) (*pump, time.Time, error) {
+	p := &pump{
+		d:            d,
+		advanceEvery: d.cfg.AdvanceEvery,
+		ckptEvery:    d.cfg.CheckpointEvery,
+		ckptDir:      d.cfg.CheckpointDir,
+	}
+	switch {
+	case carry != nil && carry.snapshot != nil:
+		eng, mark, err := restoreEngine(bytes.NewReader(carry.snapshot), d.cfg.Shards)
+		if err != nil {
+			return nil, time.Time{}, fmt.Errorf("serve: reload handoff: %w", err)
+		}
+		p.eng = eng
+		p.lastAdvance, p.lastCkpt = carry.marks.Advance, carry.marks.Checkpoint
+		return p, mark.Add(-time.Nanosecond), nil
+	case d.cfg.Resume:
+		path, err := pipeline.LatestCheckpoint(d.cfg.CheckpointDir)
+		if err != nil {
+			return nil, time.Time{}, err
+		}
+		if path != "" {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, time.Time{}, err
+			}
+			eng, mark, err := restoreEngine(f, d.cfg.Shards)
+			f.Close()
+			if err != nil {
+				return nil, time.Time{}, fmt.Errorf("serve: resuming %s: %w", path, err)
+			}
+			p.eng = eng
+			// Fire-point cuts carry their phase in the mark itself; a
+			// shutdown cut carries it in the sidecar.
+			p.lastAdvance, p.lastCkpt = mark, mark
+			if m, ok := readMarks(path + ".marks"); ok {
+				p.lastAdvance, p.lastCkpt = m.Advance, m.Checkpoint
+			}
+			return p, mark.Add(-time.Nanosecond), nil
+		}
+	}
+	if d.cfg.Shards > 1 {
+		p.eng = ids.NewSharded(d.cfg.IDS, d.cfg.Shards)
+	} else {
+		p.eng = ids.New(d.cfg.IDS)
+	}
+	return p, time.Time{}, nil
+}
+
+// restoreEngine rebuilds an IDS engine (re-sharded per the daemon's
+// config) from a snapshot stream and returns its cut mark. It reuses
+// the pipeline's resume machinery so config normalization and
+// re-sharding behave exactly as in the batch CLI.
+func restoreEngine(r io.Reader, shards int) (engine, time.Time, error) {
+	res, err := pipeline.Resume(r, shards)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	if res.Kind != checkpoint.KindIDS {
+		return nil, time.Time{}, fmt.Errorf("checkpoint holds a detector snapshot, not IDS state")
+	}
+	switch s := res.Sink.(type) {
+	case *pipeline.IDSSink:
+		return s.E, res.Mark, nil
+	case *pipeline.ShardedIDSSink:
+		return s.E, res.Mark, nil
+	default:
+		return nil, time.Time{}, fmt.Errorf("unexpected resumed sink %T", res.Sink)
+	}
+}
+
+// generationStart publishes the restored-state view and drains any
+// pending alerts the snapshot carried (non-empty only when resuming a
+// checkpoint cut mid-fire — the at-least-once crash-recovery path).
+func (p *pump) generationStart(gen int) {
+	d := p.d
+	cur := *d.state.Load()
+	cur.Generation = gen
+	cur.Running = true
+	cur.UpdatedAt = time.Now()
+	d.state.Store(&cur)
+	if pending := p.eng.Drain(); len(pending) > 0 {
+		d.publish(p, pending, p.lastAdvance)
+	}
+}
+
+// publish is the tick-fire hook: hand alerts to the hub and the
+// blocklist, refresh the engine-derived gauges and the full State.
+// Runs on the dispatching goroutine only.
+func (d *Daemon) publish(p *pump, alerts []ids.Alert, tick time.Time) {
+	if len(alerts) > 0 {
+		// Export before notifying: a consumer reacting to the SSE
+		// event (a firewall reload hook, the smoke test) must find the
+		// blocklist already rewritten.
+		if d.block != nil && d.block.add(alerts) {
+			if err := d.block.write(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			d.sm.blocklistEntries.Set(float64(len(d.block.set)))
+		}
+		d.hub.publish(alerts)
+		d.sm.alerts.Add(len(alerts))
+	}
+	cur := *d.state.Load()
+	cur.LastTick = tick
+	cur.LastCheckpoint = p.lastCkpt
+	cur.Candidates = make(map[string]int, len(d.levels))
+	for _, l := range d.levels {
+		n := p.eng.Candidates(l)
+		cur.Candidates[l.String()] = n
+		d.sm.candidates[l].Set(float64(n))
+	}
+	cur.DroppedCandidates = p.eng.DroppedCandidates()
+	d.sm.dropped.Set(float64(cur.DroppedCandidates))
+	cur.MemoryBytes = p.eng.MemoryBytes()
+	d.sm.memoryBytes.Set(float64(cur.MemoryBytes))
+	cur.DroppedPerShard, cur.QueueDepth = nil, 0
+	if se, ok := p.eng.(shardedEngine); ok {
+		cur.DroppedPerShard = se.DroppedPerShard()
+		for i, v := range cur.DroppedPerShard {
+			if i < len(d.sm.droppedPerShard) {
+				d.sm.droppedPerShard[i].Set(float64(v))
+			}
+		}
+		cur.QueueDepth = se.QueueDepth()
+		d.sm.queueDepth.Set(float64(cur.QueueDepth))
+	}
+	d.finishState(&cur, p)
+}
+
+// publishLight refreshes only the stream-progress fields — cheap
+// enough for every batch, so /api/state is current even between tick
+// fires.
+func (d *Daemon) publishLight(p *pump) {
+	cur := *d.state.Load()
+	d.finishState(&cur, p)
+}
+
+// publishFinal marks the daemon stopped (or the generation over).
+func (d *Daemon) publishFinal(p *pump) {
+	cur := *d.state.Load()
+	cur.Running = false
+	cur.LastCheckpoint = p.lastCkpt
+	d.finishState(&cur, p)
+}
+
+// finishState stamps the shared trailer fields and stores the new
+// snapshot.
+func (d *Daemon) finishState(s *State, p *pump) {
+	s.Records = d.pm.SourceRecords.Value()
+	if p.lastSeen.After(s.StreamTime) {
+		s.StreamTime = p.lastSeen
+	}
+	s.AlertsPublished = d.sm.alerts.Value()
+	if p.tail != nil {
+		s.Tail = p.tail.Stats()
+	}
+	s.UpdatedAt = time.Now()
+	d.state.Store(s)
+}

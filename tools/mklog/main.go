@@ -1,0 +1,89 @@
+// mklog appends deterministic scan traffic to a binary firewall log —
+// the hermetic traffic source for v6scand's CI smoke job and for local
+// demos. Each invocation appends one burst: -dsts records from -src,
+// one per second, to distinct destinations, starting at -start+-offset.
+//
+// A scan burst big enough to cross the IDS threshold followed by a
+// later single-record burst (the time jump) is the minimal recipe for
+// an alert:
+//
+//	mklog -o fw.log -src 2001:db8:bad::1 -dsts 150   # the scan
+//	mklog -o fw.log -offset 2h -src 2001:db8:aa::1 -dsts 1  # idle > timeout → alert
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"v6scan/internal/firewall"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "log file to append to (required)")
+		start  = flag.String("start", "2021-05-20T00:00:00Z", "stream epoch (RFC3339)")
+		offset = flag.Duration("offset", 0, "burst start relative to the epoch")
+		src    = flag.String("src", "2001:db8:bad::1", "source address")
+		dsts   = flag.Int("dsts", 150, "records to append (one distinct destination per second)")
+	)
+	flag.Parse()
+	if err := run(*out, *start, *offset, *src, *dsts); err != nil {
+		fmt.Fprintln(os.Stderr, "mklog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, start string, offset time.Duration, src string, dsts int) error {
+	if out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	base, err := time.Parse(time.RFC3339, start)
+	if err != nil {
+		return fmt.Errorf("bad -start: %w", err)
+	}
+	srcAddr, err := netip.ParseAddr(src)
+	if err != nil {
+		return fmt.Errorf("bad -src: %w", err)
+	}
+	f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	w := firewall.NewWriter(bw)
+	for i := 0; i < dsts; i++ {
+		r := firewall.Record{
+			Time: base.Add(offset + time.Duration(i)*time.Second),
+			Src:  srcAddr,
+			Dst:  netip.AddrFrom16(dstFor(i)),
+		}
+		if err := w.Write(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dstFor spreads destinations across a /64 deterministically.
+func dstFor(i int) [16]byte {
+	var b [16]byte
+	prefix := netip.MustParseAddr("2001:db8:ffff::").As16()
+	copy(b[:], prefix[:])
+	b[12] = byte(i >> 24)
+	b[13] = byte(i >> 16)
+	b[14] = byte(i >> 8)
+	b[15] = byte(i + 1)
+	return b
+}

@@ -142,9 +142,11 @@ import (
 	"v6scan/internal/firewall"
 	"v6scan/internal/ids"
 	"v6scan/internal/mawi"
+	"v6scan/internal/metrics"
 	"v6scan/internal/netaddr6"
 	"v6scan/internal/pipeline"
 	"v6scan/internal/scanner"
+	"v6scan/internal/serve"
 	"v6scan/internal/sim"
 	"v6scan/internal/telescope"
 )
@@ -568,3 +570,55 @@ var (
 	NewHeatmapCollector = analysis.NewHeatmapCollector
 	NewDNSCollector     = analysis.NewDNSCollector
 )
+
+// Serving facade: follow-mode ingestion, pipeline observability, and
+// the long-running daemon runtime behind cmd/v6scand. See the
+// pipeline package doc's "Serving" section for the tailing and
+// backpressure contracts.
+type (
+	// TailSource is a follow-mode Source that reads a growing binary
+	// firewall log, surviving partial trailing records, rotation, and
+	// truncation. Single-use; drains pending bytes on cancellation.
+	TailSource = pipeline.TailSource
+	// TailConfig tunes a TailSource (poll interval, chunking,
+	// parallel decode).
+	TailConfig = pipeline.TailConfig
+	// TailStats is a TailSource progress snapshot (offset, rotations,
+	// truncations observed).
+	TailStats = pipeline.TailStats
+	// MetricsRegistry is the dependency-free counter/gauge/histogram
+	// registry with Prometheus text exposition.
+	MetricsRegistry = metrics.Registry
+	// PipelineMetrics is the instrument bundle Builder.Instrument
+	// threads through sources, dispatch, and terminals.
+	PipelineMetrics = pipeline.Metrics
+	// ServeConfig parameterizes the serving daemon.
+	ServeConfig = serve.Config
+	// ServeDaemon tails a log, runs the IDS continuously, and serves
+	// state, alerts (paginated + SSE), and metrics over HTTP.
+	ServeDaemon = serve.Daemon
+	// ServeState is the read-side serving snapshot (/api/state).
+	ServeState = serve.State
+)
+
+// DefaultTailPoll is the TailSource growth-poll interval when
+// TailConfig.Poll is zero.
+const DefaultTailPoll = pipeline.DefaultTailPoll
+
+// NewTailSource returns a follow-mode source for path; the file need
+// not exist yet.
+func NewTailSource(path string, cfg TailConfig) *TailSource {
+	return pipeline.NewTailSource(path, cfg)
+}
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// RegisterPipelineMetrics registers the pipeline instrument bundle on
+// reg; pass the result to Builder.Instrument.
+func RegisterPipelineMetrics(reg *MetricsRegistry) *PipelineMetrics {
+	return pipeline.RegisterMetrics(reg)
+}
+
+// NewServeDaemon validates cfg and returns a daemon ready to Run.
+func NewServeDaemon(cfg ServeConfig) (*ServeDaemon, error) { return serve.NewDaemon(cfg) }
