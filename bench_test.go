@@ -397,6 +397,75 @@ func BenchmarkDetectorSharded1(b *testing.B) { benchmarkDetectorSharded(b, 1) }
 func BenchmarkDetectorSharded4(b *testing.B) { benchmarkDetectorSharded(b, 4) }
 func BenchmarkDetectorSharded8(b *testing.B) { benchmarkDetectorSharded(b, 8) }
 
+// benchRecordsBursty generates a run-heavy workload: each source emits
+// a burst of `burst` consecutive records (one scanner probing many
+// destinations back-to-back — the traffic shape single-source scan
+// bursts actually produce at a telescope). Maximal adjacent
+// same-source runs are exactly what the detector's batched
+// pre-hash/group lookup collapses to one index probe per aggregation
+// level.
+func benchRecordsBursty(n, burst int) []Record {
+	rng := rand.New(rand.NewSource(99))
+	recs := make([]Record, 0, n)
+	ts := benchStart
+	scanBase := netaddr6.MustPrefix("2001:db8::/36")
+	dstBase := netaddr6.MustPrefix("2001:db8:f000::/44")
+	for len(recs) < n {
+		src := netaddr6.WithIID(netaddr6.RandomSubprefix(scanBase, 64, rng).Addr(), uint64(len(recs)))
+		for j := 0; j < burst && len(recs) < n; j++ {
+			recs = append(recs, Record{
+				Time: ts, Src: src,
+				Dst:   netaddr6.RandomAddrIn(dstBase, rng),
+				Proto: layers.ProtoTCP, DstPort: uint16(1 + j%1024), Length: 60,
+			})
+			ts = ts.Add(time.Millisecond)
+		}
+	}
+	return recs
+}
+
+// BenchmarkBatchGroupedLookup compares the detector's batched
+// ProcessBatch against the per-record Process loop on the same bursty
+// workload: ProcessBatch groups adjacent same-source runs and pays one
+// u128idx probe per run per level, while the per-record path pays one
+// per record (Process is a one-record batch, so the gap between the
+// two sub-benchmarks isolates the grouping win — same detector, same
+// records, no eviction until Finish).
+func BenchmarkBatchGroupedLookup(b *testing.B) {
+	recs := benchRecordsBursty(100_000, 32)
+	const batch = 8192
+	b.Run("Grouped", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det := NewDetector(DefaultDetectorConfig())
+			for j := 0; j < len(recs); j += batch {
+				end := j + batch
+				if end > len(recs) {
+					end = len(recs)
+				}
+				if err := det.ProcessBatch(recs[j:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			det.Finish()
+		}
+		b.ReportMetric(float64(len(recs)), "records/op")
+	})
+	b.Run("PerRecord", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det := NewDetector(DefaultDetectorConfig())
+			for _, r := range recs {
+				if err := det.Process(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			det.Finish()
+		}
+		b.ReportMetric(float64(len(recs)), "records/op")
+	})
+}
+
 // BenchmarkShardDispatch isolates the shared dispatcher from the
 // detector/IDS work it normally feeds: workers only count records, so
 // ns/op and allocs/op measure partitioning, channel traffic, and the

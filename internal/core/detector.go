@@ -16,6 +16,27 @@
 // closed sessions that meet the destination threshold are emitted as
 // scans. Memory is proportional to concurrently active sources, which
 // is what an inline IDS deployment would consume.
+//
+// # State index and small-set cutoffs
+//
+// Session lookup state lives in a u128idx.Index (open-addressed, no
+// per-entry pointers) mapping masked sources to u32 handles into paged
+// session arrays, and per-session destination/source sets are
+// u128idx.Set values with an inline sorted-array fast path (cutoff
+// u128idx.SmallSetSpill = 16) before spilling to an index. Sessions
+// additionally keep their very first destination/source/service/week
+// inline and materialize set or map state only on the second distinct
+// value, because at fine aggregation levels most sessions close after
+// a handful of packets.
+//
+// inlineMapHint below sizes the remaining maps (ports by service,
+// packets by week) at materialization. Re-tuned against the u128idx
+// port: these maps are keyed by small scalar types where the builtin
+// map is already cheap, and a session that outgrows the single-value
+// fast path usually keeps accumulating, so a 16-entry hint (enough
+// buckets for ~26 entries growth-free) remains the measured sweet spot
+// — 8 costs an extra growth step on scan-heavy sessions, 32 doubles
+// the footprint of the (common) two-service sessions for no time win.
 package core
 
 import (
@@ -27,6 +48,7 @@ import (
 	"v6scan/internal/entropy"
 	"v6scan/internal/firewall"
 	"v6scan/internal/netaddr6"
+	"v6scan/internal/u128idx"
 )
 
 // Config parameterizes scan detection.
@@ -94,24 +116,25 @@ func (s *Scan) Duration() time.Duration { return s.End.Sub(s.Start) }
 func (s *Scan) NumPorts() int { return len(s.Ports) }
 
 // session is the in-flight state for one aggregated source. The
-// address sets are keyed by pointer-free U128 values rather than
-// netip.Addr: the detector's working set is dominated by these maps,
-// and value keys keep the garbage collector from tracing millions of
+// address sets are u128idx.Set values — pointer-free U128 keys with an
+// inline sorted-array fast path — rather than netip.Addr maps: the
+// detector's working set is dominated by these sets, and flat value
+// storage keeps the garbage collector from tracing millions of
 // interned-zone pointers on every cycle.
 //
 // Sessions additionally hold their first destination, source, service
-// and week inline and materialize the maps only on the second distinct
-// value: at fine aggregation levels the overwhelming majority of
-// sessions are short-lived background sources that close below the
-// threshold, and the fast path spares three map allocations per
-// session.
+// and week inline and materialize the sets/maps only on the second
+// distinct value: at fine aggregation levels the overwhelming majority
+// of sessions are short-lived background sources that close below the
+// threshold, and the fast path spares the set/map work entirely.
 //
-// Sessions themselves are slab-allocated per level and recycled
-// through a free list when they close (newSession/recycle below): the
-// detector's steady-state ingest otherwise allocates one session per
-// source per level, which dominates the allocation rate on
-// million-record days. A recycled session keeps its emptied maps, so
-// the "materialized" state is len(map) > 0, not map != nil.
+// Sessions themselves live in paged per-level arrays addressed by u32
+// handles and are recycled through a free list when they close
+// (levelState.alloc/recycle below): the detector's steady-state ingest
+// otherwise allocates one session per source per level, which
+// dominates the allocation rate on million-record days. A recycled
+// session keeps its emptied sets and maps, so the "materialized" state
+// is Len() > 0, not non-nil.
 type session struct {
 	start, last time.Time
 	packets     uint64
@@ -122,45 +145,40 @@ type session struct {
 	firstWeek          int32
 	weekN              uint64
 
-	dsts       map[netaddr6.U128]struct{}
-	srcs       map[netaddr6.U128]struct{}
+	dsts       u128idx.Set
+	srcs       u128idx.Set
 	ports      map[firewall.Service]uint64
 	weeks      map[int]uint64
 	lenCounter entropy.Counter
 }
 
-// inlineMapHint pre-sizes session maps at materialization. A session
-// that outgrows the inline single-value fast path usually keeps
-// accumulating (coarse-level aggregates see tens of distinct values
-// quickly), and Go map growth allocates on every doubling: a 16-entry
-// hint starts at enough buckets to absorb ~26 entries growth-free for
-// a few hundred extra bytes on the (rare) two-entry sessions.
+// inlineMapHint pre-sizes the session ports/weeks maps at
+// materialization (the U128 address sets use u128idx.Set with its own
+// SmallSetSpill cutoff; see the package doc). A session that outgrows
+// the inline single-value fast path usually keeps accumulating, and Go
+// map growth allocates on every doubling: a 16-entry hint starts at
+// enough buckets to absorb ~26 entries growth-free for a few hundred
+// extra bytes on the (rare) two-entry sessions.
 const inlineMapHint = 16
 
 func (s *session) addDst(d netaddr6.U128) {
-	if len(s.dsts) == 0 {
+	if s.dsts.Len() == 0 {
 		if d == s.firstDst {
 			return
 		}
-		if s.dsts == nil {
-			s.dsts = make(map[netaddr6.U128]struct{}, inlineMapHint)
-		}
-		s.dsts[s.firstDst] = struct{}{}
+		s.dsts.Add(s.firstDst)
 	}
-	s.dsts[d] = struct{}{}
+	s.dsts.Add(d)
 }
 
 func (s *session) addSrc(a netaddr6.U128) {
-	if len(s.srcs) == 0 {
+	if s.srcs.Len() == 0 {
 		if a == s.firstSrc {
 			return
 		}
-		if s.srcs == nil {
-			s.srcs = make(map[netaddr6.U128]struct{}, inlineMapHint)
-		}
-		s.srcs[s.firstSrc] = struct{}{}
+		s.srcs.Add(s.firstSrc)
 	}
-	s.srcs[a] = struct{}{}
+	s.srcs.Add(a)
 }
 
 func (s *session) addSvc(svc firewall.Service) {
@@ -192,67 +210,81 @@ func (s *session) addWeek(w int) {
 }
 
 func (s *session) numDsts() int {
-	if len(s.dsts) == 0 {
-		return 1
+	if n := s.dsts.Len(); n > 0 {
+		return n
 	}
-	return len(s.dsts)
+	return 1
 }
 
 func (s *session) numSrcs() int {
-	if len(s.srcs) == 0 {
-		return 1
+	if n := s.srcs.Len(); n > 0 {
+		return n
 	}
-	return len(s.srcs)
+	return 1
 }
 
-// levelState tracks all sessions at one aggregation level, keyed by
-// the masked 128-bit source (the prefix length is the level itself).
+// levelState tracks all sessions at one aggregation level. The index
+// maps the masked 128-bit source (the prefix length is the level
+// itself) to a u32 handle into the paged session store; pages never
+// move once allocated, so *session pointers stay valid across alloc.
 type levelState struct {
-	level    netaddr6.AggLevel
-	sessions map[netaddr6.U128]*session
-	scans    []Scan
+	level netaddr6.AggLevel
+	idx   u128idx.Index
+	scans []Scan
 	// dropped counts sessions that closed below the destination
 	// threshold (useful for diagnostics and the Figure 1 discussion).
 	dropped uint64
-	// slab and free implement the per-level session arena: new
-	// sessions are carved from slab chunks and closed sessions return
-	// through free with their maps emptied for reuse, keeping
-	// steady-state ingest free of per-session allocations.
-	slab []session
-	free []*session
+	// pages, free and next implement the handle-addressed session
+	// arena: handles are page<<sessionPageShift | offset, new sessions
+	// are carved in handle order and closed sessions return through
+	// free with their sets/maps emptied for reuse, keeping steady-state
+	// ingest free of per-session allocations.
+	pages [][]session
+	free  []uint32
+	next  uint32
 }
 
-// sessionSlabSize is the slab chunk granularity — large enough to
-// amortize chunk allocation to noise, small enough that a mostly-idle
-// level does not strand much memory.
-const sessionSlabSize = 512
+// sessionPageShift sets the page granularity (512 sessions/page) —
+// large enough to amortize page allocation to noise, small enough that
+// a mostly-idle level does not strand much memory.
+const (
+	sessionPageShift = 9
+	sessionPageSize  = 1 << sessionPageShift
+)
 
-// newSession returns a zeroed session from the free list or the slab.
-func (ls *levelState) newSession() *session {
+// session returns the session addressed by handle h.
+func (ls *levelState) session(h uint32) *session {
+	return &ls.pages[h>>sessionPageShift][h&(sessionPageSize-1)]
+}
+
+// alloc returns a zeroed session and its handle, from the free list or
+// by carving the next page slot.
+func (ls *levelState) alloc() (uint32, *session) {
 	if n := len(ls.free) - 1; n >= 0 {
-		s := ls.free[n]
+		h := ls.free[n]
 		ls.free = ls.free[:n]
-		return s
+		return h, ls.session(h)
 	}
-	if len(ls.slab) == 0 {
-		ls.slab = make([]session, sessionSlabSize)
+	if int(ls.next) == len(ls.pages)<<sessionPageShift {
+		ls.pages = append(ls.pages, make([]session, sessionPageSize))
 	}
-	s := &ls.slab[0]
-	ls.slab = ls.slab[1:]
-	return s
+	h := ls.next
+	ls.next++
+	return h, ls.session(h)
 }
 
-// recycle resets a closed session and returns it to the free list. Its
-// maps are emptied and retained (transferred maps must be nil'd by the
-// caller first), so reopened sessions skip re-materialization.
-func (ls *levelState) recycle(s *session) {
-	clear(s.dsts)
-	clear(s.srcs)
+// recycle resets a closed session and returns its handle to the free
+// list. Its sets and maps are emptied and retained (transferred maps
+// must be nil'd by the caller first), so reopened sessions skip
+// re-materialization.
+func (ls *levelState) recycle(h uint32, s *session) {
+	s.dsts.Reset()
+	s.srcs.Reset()
 	clear(s.ports)
 	clear(s.weeks)
 	s.lenCounter.Reset()
 	*s = session{dsts: s.dsts, srcs: s.srcs, ports: s.ports, weeks: s.weeks, lenCounter: s.lenCounter}
-	ls.free = append(ls.free, s)
+	ls.free = append(ls.free, h)
 }
 
 // Detector runs the scan definition at several aggregation levels in a
@@ -263,6 +295,17 @@ type Detector struct {
 	// lastTime guards the time-ordering contract.
 	lastTime time.Time
 	strict   bool
+
+	// Per-batch scratch: ProcessBatch converts each record's
+	// destination/service/week once up front, then replays them across
+	// all levels, so the per-level loop touches only flat arrays.
+	scrDst  []netaddr6.U128
+	scrSvc  []firewall.Service
+	scrWeek []int32
+	// dstOut is the canonical-order scratch for TrackDsts emission.
+	dstOut []netaddr6.U128
+	// one backs the Process single-record wrapper.
+	one [1]firewall.Record
 }
 
 // NewDetector returns a detector for the given configuration.
@@ -278,10 +321,7 @@ func NewDetector(cfg Config) *Detector {
 	}
 	d := &Detector{cfg: cfg, strict: true}
 	for _, l := range cfg.Levels {
-		d.levels = append(d.levels, &levelState{
-			level:    l,
-			sessions: make(map[netaddr6.U128]*session),
-		})
+		d.levels = append(d.levels, &levelState{level: l})
 	}
 	return d
 }
@@ -293,50 +333,99 @@ func (d *Detector) Config() Config { return d.cfg }
 // order; out-of-order input returns an error (small reorderings should
 // be sorted by the caller — the simulator sorts per day).
 func (d *Detector) Process(r firewall.Record) error {
-	if r.Time.Before(d.lastTime) {
-		return fmt.Errorf("core: record at %v before previous %v; detector requires time order", r.Time, d.lastTime)
-	}
-	d.lastTime = r.Time
-	if !netaddr6.IsIPv6(r.Src) {
-		panic("core: Process on non-IPv6 source " + r.Src.String())
-	}
-	src, dst := netaddr6.ToU128(r.Src), netaddr6.ToU128(r.Dst)
-	svc := r.Service()
-	weekly := !d.cfg.WeekEpoch.IsZero()
-	var week int
-	if weekly {
-		week = weekIndex(d.cfg.WeekEpoch, r.Time)
-	}
-	for _, ls := range d.levels {
-		key := src.Mask(int(ls.level))
-		s := ls.sessions[key]
-		if s != nil && r.Time.Sub(s.last) > d.cfg.Timeout {
-			d.closeSession(ls, key, s)
-			s = nil
+	d.one[0] = r
+	return d.ProcessBatch(d.one[:])
+}
+
+// ProcessBatch ingests records in order, with the same time-ordering
+// contract as Process: on an out-of-order record it processes the
+// in-order prefix and returns the same error Process would.
+//
+// Batches are where the detector earns its keep: adjacent records from
+// the same source (the shape dispatch staging and real scan traffic
+// produce) are grouped into runs, so N records to one source cost one
+// index probe per aggregation level instead of N map lookups.
+func (d *Detector) ProcessBatch(recs []firewall.Record) error {
+	for i := 0; i < len(recs); {
+		r0 := recs[i]
+		if r0.Time.Before(d.lastTime) {
+			return fmt.Errorf("core: record at %v before previous %v; detector requires time order", r0.Time, d.lastTime)
 		}
-		if s == nil {
-			s = ls.newSession()
-			s.start, s.last, s.packets = r.Time, r.Time, 1
-			s.firstDst, s.firstSrc = dst, src
-			s.firstSvc, s.svcN = svc, 1
-			if weekly {
-				s.firstWeek, s.weekN = int32(week), 1
-			}
-			s.lenCounter.Observe(uint64(r.Length))
-			ls.sessions[key] = s
-			continue
+		if !netaddr6.IsIPv6(r0.Src) {
+			d.lastTime = r0.Time
+			panic("core: Process on non-IPv6 source " + r0.Src.String())
 		}
-		s.last = r.Time
-		s.packets++
-		s.addDst(dst)
-		s.addSrc(src)
-		s.addSvc(svc)
-		s.lenCounter.Observe(uint64(r.Length))
-		if weekly {
-			s.addWeek(week)
+		// A run is a maximal span of same-source records in time order;
+		// a time violation breaks the run so the prefix is processed
+		// before the next iteration reports the error.
+		j := i + 1
+		for j < len(recs) && recs[j].Src == r0.Src && !recs[j].Time.Before(recs[j-1].Time) {
+			j++
 		}
+		d.ingestRun(recs[i:j])
+		d.lastTime = recs[j-1].Time
+		i = j
 	}
 	return nil
+}
+
+// ingestRun applies one same-source run of in-order records: a single
+// index probe per level resolves (or creates) the session, and each
+// record then updates it through the cached pointer. Mid-run timeout
+// gaps close the session and splice a fresh one into the same index
+// slot — no index mutation happens inside a run, so the value pointer
+// from the initial probe stays valid throughout.
+func (d *Detector) ingestRun(rs []firewall.Record) {
+	weekly := !d.cfg.WeekEpoch.IsZero()
+	d.scrDst = d.scrDst[:0]
+	d.scrSvc = d.scrSvc[:0]
+	if weekly {
+		d.scrWeek = d.scrWeek[:0]
+	}
+	for _, r := range rs {
+		d.scrDst = append(d.scrDst, netaddr6.ToU128(r.Dst))
+		d.scrSvc = append(d.scrSvc, r.Service())
+		if weekly {
+			d.scrWeek = append(d.scrWeek, int32(weekIndex(d.cfg.WeekEpoch, r.Time)))
+		}
+	}
+	src := netaddr6.ToU128(rs[0].Src)
+	for _, ls := range d.levels {
+		key := src.Mask(int(ls.level))
+		vp, existed := ls.idx.RefH(u128idx.Hash(key), key)
+		var s *session
+		if existed {
+			s = ls.session(*vp)
+		}
+		for k, r := range rs {
+			if s != nil && r.Time.Sub(s.last) > d.cfg.Timeout {
+				d.emitOrDrop(ls, key, *vp, s)
+				s = nil
+			}
+			if s == nil {
+				h, ns := ls.alloc()
+				*vp = h
+				s = ns
+				s.start, s.last, s.packets = r.Time, r.Time, 1
+				s.firstDst, s.firstSrc = d.scrDst[k], src
+				s.firstSvc, s.svcN = d.scrSvc[k], 1
+				if weekly {
+					s.firstWeek, s.weekN = d.scrWeek[k], 1
+				}
+				s.lenCounter.Observe(uint64(r.Length))
+				continue
+			}
+			s.last = r.Time
+			s.packets++
+			s.addDst(d.scrDst[k])
+			s.addSrc(src)
+			s.addSvc(d.scrSvc[k])
+			s.lenCounter.Observe(uint64(r.Length))
+			if weekly {
+				s.addWeek(int(d.scrWeek[k]))
+			}
+		}
+	}
 }
 
 // Advance closes every session whose timeout has elapsed as of now.
@@ -344,11 +433,14 @@ func (d *Detector) Process(r firewall.Record) error {
 // batch analyses can skip it and rely on Finish.
 func (d *Detector) Advance(now time.Time) {
 	for _, ls := range d.levels {
-		for key, s := range ls.sessions {
+		ls.idx.Range(func(key netaddr6.U128, h uint32) bool {
+			s := ls.session(h)
 			if now.Sub(s.last) > d.cfg.Timeout {
-				d.closeSession(ls, key, s)
+				d.emitOrDrop(ls, key, h, s)
+				ls.idx.Delete(key)
 			}
-		}
+			return true
+		})
 	}
 }
 
@@ -356,17 +448,22 @@ func (d *Detector) Advance(now time.Time) {
 // state. Call once after the final record.
 func (d *Detector) Finish() {
 	for _, ls := range d.levels {
-		for key, s := range ls.sessions {
-			d.closeSession(ls, key, s)
-		}
+		ls.idx.Range(func(key netaddr6.U128, h uint32) bool {
+			d.emitOrDrop(ls, key, h, ls.session(h))
+			ls.idx.Delete(key)
+			return true
+		})
 	}
 }
 
-func (d *Detector) closeSession(ls *levelState, key netaddr6.U128, s *session) {
-	delete(ls.sessions, key)
+// emitOrDrop evaluates a closing session against the scan definition,
+// emits it as a Scan when it qualifies, and recycles it. The caller
+// owns the index entry: Process/ingestRun overwrite the slot in place
+// when a timed-out session is replaced, Advance/Finish delete it.
+func (d *Detector) emitOrDrop(ls *levelState, key netaddr6.U128, h uint32, s *session) {
 	if s.numDsts() < d.cfg.MinDsts {
 		ls.dropped++
-		ls.recycle(s)
+		ls.recycle(h, s)
 		return
 	}
 	// Qualifying sessions are the rare case. The Scan takes ownership
@@ -402,19 +499,21 @@ func (d *Detector) closeSession(ls *levelState, key netaddr6.U128, s *session) {
 	}
 	if d.cfg.TrackDsts {
 		scan.DstAddrs = make([]netip.Addr, 0, s.numDsts())
-		if len(s.dsts) == 0 {
+		if s.dsts.Len() == 0 {
 			scan.DstAddrs = append(scan.DstAddrs, s.firstDst.ToAddr())
 		} else {
-			for a := range s.dsts {
+			// Set iteration is canonical (ascending U128), which for
+			// 16-byte addresses is exactly netip.Addr.Compare order, so
+			// the emitted DstAddrs stay byte-identical to the sorted
+			// map-era output without a re-sort.
+			d.dstOut = s.dsts.AppendSorted(d.dstOut[:0])
+			for _, a := range d.dstOut {
 				scan.DstAddrs = append(scan.DstAddrs, a.ToAddr())
 			}
 		}
-		sort.Slice(scan.DstAddrs, func(i, j int) bool {
-			return scan.DstAddrs[i].Compare(scan.DstAddrs[j]) < 0
-		})
 	}
 	ls.scans = append(ls.scans, scan)
-	ls.recycle(s)
+	ls.recycle(h, s)
 }
 
 // Scans returns the detected scans at one aggregation level, ordered by
@@ -424,7 +523,7 @@ func (d *Detector) Scans(level netaddr6.AggLevel) []Scan {
 		if ls.level == level {
 			out := ls.scans
 			// Tie-break on source so ordering is deterministic even when
-			// sessions close in map-iteration order.
+			// sessions close in index-iteration order.
 			sort.Slice(out, func(i, j int) bool {
 				if !out[i].Start.Equal(out[j].Start) {
 					return out[i].Start.Before(out[j].Start)
@@ -454,7 +553,7 @@ func (d *Detector) Dropped(level netaddr6.AggLevel) uint64 {
 func (d *Detector) OpenSessions(level netaddr6.AggLevel) int {
 	for _, ls := range d.levels {
 		if ls.level == level {
-			return len(ls.sessions)
+			return ls.idx.Len()
 		}
 	}
 	return 0

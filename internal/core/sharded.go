@@ -61,12 +61,7 @@ func NewShardedDetector(cfg Config, n int) *ShardedDetector {
 		if !mark.IsZero() {
 			det.Advance(mark)
 		}
-		for _, r := range recs {
-			if err := det.Process(r); err != nil {
-				return err
-			}
-		}
-		return nil
+		return det.ProcessBatch(recs)
 	})
 	return sd
 }

@@ -32,6 +32,7 @@ import (
 	"v6scan/internal/firewall"
 	"v6scan/internal/layers"
 	"v6scan/internal/netaddr6"
+	"v6scan/internal/u128idx"
 )
 
 // preallocCap bounds slice/map preallocation hints taken from decoded
@@ -122,19 +123,25 @@ func snapshotDetectors(w io.Writer, cfg Config, dets []*Detector, mark time.Time
 		s   *session
 	}
 	var sessions []keyed
+	// setScratch is the reused sort buffer for every encoded address
+	// set in the snapshot; it grows to the largest set once and keeps
+	// the encode loop allocation-free (pinned by an allocs test).
+	var setScratch []netaddr6.U128
 	for li := range cfg.Levels {
 		sessions = sessions[:0]
 		for _, det := range dets {
-			for key, s := range det.levels[li].sessions {
-				sessions = append(sessions, keyed{key, s})
-			}
+			ls := det.levels[li]
+			ls.idx.Range(func(key netaddr6.U128, h uint32) bool {
+				sessions = append(sessions, keyed{key, ls.session(h)})
+				return true
+			})
 		}
 		sort.Slice(sessions, func(i, j int) bool { return sessions[i].key.Cmp(sessions[j].key) < 0 })
 		e.B = e.B[:0]
 		e.Varint(int64(cfg.Levels[li]))
 		e.Uvarint(uint64(len(sessions)))
 		for _, ks := range sessions {
-			encodeSession(&e, ks.key, ks.s)
+			encodeSession(&e, &setScratch, ks.key, ks.s)
 		}
 		if err := cw.Section(checkpoint.SecLevel, e.B); err != nil {
 			return err
@@ -295,18 +302,18 @@ func levelIndex(levels []netaddr6.AggLevel, l netaddr6.AggLevel) (int, error) {
 	return 0, fmt.Errorf("%w: level %v not in configuration", checkpoint.ErrFormat, l)
 }
 
-// encodeSession writes one session's logical state: each inline-or-map
-// set is encoded as its sorted logical contents, so the in-memory
-// representation (inline fast path vs materialized map) never reaches
-// the wire.
-func encodeSession(e *checkpoint.Enc, key netaddr6.U128, s *session) {
+// encodeSession writes one session's logical state: each inline-or-set
+// pair is encoded as its sorted logical contents, so the in-memory
+// representation (inline fast path vs materialized set) never reaches
+// the wire. scratch is the caller's reused sort buffer.
+func encodeSession(e *checkpoint.Enc, scratch *[]netaddr6.U128, key netaddr6.U128, s *session) {
 	e.U64(key.Hi)
 	e.U64(key.Lo)
 	e.Time(s.start)
 	e.Time(s.last)
 	e.Uvarint(s.packets)
-	encodeU128Set(e, s.dsts, s.firstDst)
-	encodeU128Set(e, s.srcs, s.firstSrc)
+	encodeU128Set(e, scratch, &s.dsts, s.firstDst)
+	encodeU128Set(e, scratch, &s.srcs, s.firstSrc)
 	encodePorts(e, s.ports, s.firstSvc, s.svcN)
 	encodeWeeks(e, s.weeks, int(s.firstWeek), s.weekN)
 	encodeCounter(e, &s.lenCounter)
@@ -322,15 +329,15 @@ func decodeSession(d *checkpoint.Dec, dets []*Detector, li int, coarsest netaddr
 		shard = dispatch.Partition(key.ToAddr(), coarsest, n)
 	}
 	ls := dets[shard].levels[li]
-	s := ls.newSession()
+	h, s := ls.alloc()
 	s.start = d.Time()
 	s.last = d.Time()
 	s.packets = d.Uvarint()
 	var err error
-	if s.dsts, s.firstDst, err = decodeU128Set(d); err != nil {
+	if s.firstDst, err = decodeU128Set(d, &s.dsts); err != nil {
 		return err
 	}
-	if s.srcs, s.firstSrc, err = decodeU128Set(d); err != nil {
+	if s.firstSrc, err = decodeU128Set(d, &s.srcs); err != nil {
 		return err
 	}
 	s.ports, s.firstSvc, s.svcN = decodePorts(d)
@@ -341,25 +348,24 @@ func decodeSession(d *checkpoint.Dec, dets []*Detector, li int, coarsest netaddr
 	if err := d.Err(); err != nil {
 		return err
 	}
-	ls.sessions[key] = s
+	ls.idx.Put(key, h)
 	return nil
 }
 
-// encodeU128Set writes the logical address set of an inline-or-map
-// pair: the map's sorted keys when materialized (always ≥ 2 entries,
-// including the first value), the single inline value otherwise.
-func encodeU128Set(e *checkpoint.Enc, m map[netaddr6.U128]struct{}, first netaddr6.U128) {
-	if len(m) == 0 {
+// encodeU128Set writes the logical address set of an inline-or-set
+// pair: the set's canonical (sorted) members when materialized (always
+// ≥ 2 entries, including the first value), the single inline value
+// otherwise. scratch is a reused sort buffer threaded through the
+// encoder so repeated sections don't allocate.
+func encodeU128Set(e *checkpoint.Enc, scratch *[]netaddr6.U128, set *u128idx.Set, first netaddr6.U128) {
+	if set.Len() == 0 {
 		e.Uvarint(1)
 		e.U64(first.Hi)
 		e.U64(first.Lo)
 		return
 	}
-	keys := make([]netaddr6.U128, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Cmp(keys[j]) < 0 })
+	keys := set.AppendSorted((*scratch)[:0])
+	*scratch = keys
 	e.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		e.U64(k.Hi)
@@ -367,25 +373,23 @@ func encodeU128Set(e *checkpoint.Enc, m map[netaddr6.U128]struct{}, first netadd
 	}
 }
 
-func decodeU128Set(d *checkpoint.Dec) (map[netaddr6.U128]struct{}, netaddr6.U128, error) {
+// decodeU128Set fills set (assumed empty) with the encoded members and
+// returns the first value; a single-member set stays on the inline
+// fast path (set left empty), exactly as live ingestion would leave it.
+func decodeU128Set(d *checkpoint.Dec, set *u128idx.Set) (netaddr6.U128, error) {
 	n := d.Uvarint()
 	if n == 0 || d.Err() != nil {
-		return nil, netaddr6.U128{}, fmt.Errorf("%w: empty address set", checkpoint.ErrFormat)
+		return netaddr6.U128{}, fmt.Errorf("%w: empty address set", checkpoint.ErrFormat)
 	}
 	first := netaddr6.U128{Hi: d.U64(), Lo: d.U64()}
 	if n == 1 {
-		return nil, first, nil
+		return first, nil
 	}
-	hint := preallocHint(n)
-	if hint < inlineMapHint {
-		hint = inlineMapHint
-	}
-	m := make(map[netaddr6.U128]struct{}, hint)
-	m[first] = struct{}{}
+	set.Add(first)
 	for i := uint64(1); i < n && d.Err() == nil; i++ {
-		m[netaddr6.U128{Hi: d.U64(), Lo: d.U64()}] = struct{}{}
+		set.Add(netaddr6.U128{Hi: d.U64(), Lo: d.U64()})
 	}
-	return m, first, d.Err()
+	return first, d.Err()
 }
 
 // servicesSorted returns a map's services ordered by (proto, port).

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"v6scan/internal/checkpoint"
+	"v6scan/internal/netaddr6"
+	"v6scan/internal/u128idx"
+)
+
+// TestEncodeU128SetNoAllocs pins the address-set encoder at zero
+// allocations once the threaded scratch buffer and encoder are warm:
+// the per-section fresh sorted slice it used to allocate is exactly the
+// regression this guards against.
+func TestEncodeU128SetNoAllocs(t *testing.T) {
+	var spilled u128idx.Set
+	for i := 0; i < 300; i++ {
+		spilled.Add(netaddr6.U128{Hi: uint64(i) * 0x9e3779b97f4a7c15, Lo: uint64(i)})
+	}
+	var small u128idx.Set
+	for i := 0; i < 5; i++ {
+		small.Add(netaddr6.U128{Lo: uint64(i)})
+	}
+	var inline u128idx.Set // empty: single-value fast path
+	first := netaddr6.U128{Hi: 1, Lo: 2}
+
+	var e checkpoint.Enc
+	var scratch []netaddr6.U128
+	encode := func() {
+		e.B = e.B[:0]
+		encodeU128Set(&e, &scratch, &spilled, first)
+		encodeU128Set(&e, &scratch, &small, first)
+		encodeU128Set(&e, &scratch, &inline, first)
+	}
+	encode() // warm the scratch buffer and encoder capacity
+	if allocs := testing.AllocsPerRun(20, encode); allocs != 0 {
+		t.Fatalf("encodeU128Set allocated %.0f times per warm encode, want 0", allocs)
+	}
+}

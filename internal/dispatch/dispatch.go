@@ -347,8 +347,19 @@ func (d *Dispatcher) dispatch(recs []firewall.Record, mark time.Time) error {
 		return nil
 	}
 	sizeHint := len(recs)/d.n + len(recs)/8 + 1
+	// Adjacent records usually share a source (scan bursts, merged
+	// ingest runs): reuse the previous record's partition instead of
+	// re-hashing, which also keeps same-source runs adjacent within a
+	// shard batch — the shape the detector/IDS grouped ProcessBatch
+	// paths turn into single-probe lookups.
+	var prevSrc netip.Addr
+	prevIdx := -1
 	for _, r := range recs {
-		i := Partition(r.Src, d.level, d.n)
+		i := prevIdx
+		if i < 0 || r.Src != prevSrc {
+			i = Partition(r.Src, d.level, d.n)
+			prevSrc, prevIdx = r.Src, i
+		}
 		p := d.parts[i]
 		if p == nil {
 			p = GetBatch(sizeHint)

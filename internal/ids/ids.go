@@ -21,13 +21,21 @@
 //     destinations — and escalating to the coarser prefix when it does
 //     not (the spread-source case).
 //
-// Engine is single-goroutine and allocation-light: candidate tables use
-// pointer-free U128 keys, and candidates hold their first destination
-// inline, materializing the sketch only on the second distinct
-// destination — at fine aggregation levels the overwhelming majority of
-// candidates are short-lived background sources that never need one.
-// ShardedEngine (sharded.go) runs N engines in parallel, partitioned by
-// coarsest-level source prefix, with byte-identical merged output.
+// Engine is single-goroutine and allocation-light: candidate tables are
+// u128idx.Index instances (open-addressed, pointer-free U128 keys, u32
+// handles into paged candidate arrays), and candidates hold their first
+// destination inline, materializing the sketch only on the second
+// distinct destination — at fine aggregation levels the overwhelming
+// majority of candidates are short-lived background sources that never
+// need one. The inline-first-destination cutoff is 1 (a single address)
+// because the sketch, unlike a set, has no cheap intermediate size: the
+// first distinct second address pays the full 2^precision registers, so
+// there is nothing to re-tune between 1 and materialization — the only
+// knob is SketchPrecision. ProcessBatch additionally groups adjacent
+// same-source records so a burst of N records to one candidate costs
+// one index probe per level. ShardedEngine (sharded.go) runs N engines
+// in parallel, partitioned by coarsest-level source prefix, with
+// byte-identical merged output.
 package ids
 
 import (
@@ -40,6 +48,7 @@ import (
 	"v6scan/internal/core"
 	"v6scan/internal/firewall"
 	"v6scan/internal/netaddr6"
+	"v6scan/internal/u128idx"
 )
 
 // Config parameterizes the engine.
@@ -133,11 +142,11 @@ func sortAlerts(alerts []Alert) {
 // candidate costs no sketch memory. HyperLogLog insertion is
 // idempotent per address, so the late-materialized sketch is
 // byte-identical to one fed every record.
-// Candidates are slab-allocated per level and recycled through a free
-// list on eviction (newCandidate/recycle below), with their sketches
-// reset and pooled alongside: steady-state ingest otherwise allocates
-// one candidate per source per level, which dominates the engine's
-// allocation rate on million-record days.
+// Candidates live in paged per-level arrays addressed by u32 handles
+// and are recycled through a free list on eviction (alloc/recycle
+// below), with their sketches reset and pooled alongside: steady-state
+// ingest otherwise allocates one candidate per source per level, which
+// dominates the engine's allocation rate on million-record days.
 type candidate struct {
 	firstDst    netaddr6.U128
 	sketch      *core.DstSketch
@@ -154,13 +163,15 @@ func (c *candidate) estimate() uint64 {
 	return c.sketch.Estimate()
 }
 
-// level is one aggregation level's candidate table, keyed by the
-// masked 128-bit source (the prefix length is the level itself) —
+// level is one aggregation level's candidate table: an open-addressed
+// index keyed by the masked 128-bit source (the prefix length is the
+// level itself) mapping to u32 handles into paged candidate arrays —
 // pointer-free keys keep the garbage collector from tracing millions
-// of interned netip.Addr zone pointers on every cycle.
+// of interned netip.Addr zone pointers on every cycle, and pages never
+// move once allocated, so *candidate pointers stay valid across alloc.
 type level struct {
-	agg        netaddr6.AggLevel
-	candidates map[netaddr6.U128]*candidate
+	agg netaddr6.AggLevel
+	idx u128idx.Index
 	// oldest is a conservative lower bound on every live candidate's
 	// last-activity time (zero when unknown/empty). Candidate activity
 	// only moves last forward, so the bound lets sweep skip the whole
@@ -168,43 +179,53 @@ type level struct {
 	// possible candidate would not be idle yet: the common case for
 	// minute-cadence Ticks over an hour-scale timeout.
 	oldest time.Time
-	// slab, free and freeSketch implement the per-level candidate
-	// arena: new candidates are carved from slab chunks, evicted ones
-	// return through free, and their sketches are reset and pooled for
-	// the next candidate that needs one.
-	slab       []candidate
-	free       []*candidate
+	// pages, free, next and freeSketch implement the handle-addressed
+	// candidate arena: handles are page<<candidatePageShift | offset,
+	// evicted candidates return through free, and their sketches are
+	// reset and pooled for the next candidate that needs one.
+	pages      [][]candidate
+	free       []uint32
+	next       uint32
 	freeSketch []*core.DstSketch
 }
 
-// candidateSlabSize is the slab chunk granularity (see the detector's
-// sessionSlabSize for the trade-off).
-const candidateSlabSize = 512
+// candidatePageShift sets the page granularity, 512 candidates/page
+// (see the detector's sessionPageShift for the trade-off).
+const (
+	candidatePageShift = 9
+	candidatePageSize  = 1 << candidatePageShift
+)
 
-// newCandidate returns a zeroed candidate from the free list or slab.
-func (lv *level) newCandidate() *candidate {
-	if n := len(lv.free) - 1; n >= 0 {
-		c := lv.free[n]
-		lv.free = lv.free[:n]
-		return c
-	}
-	if len(lv.slab) == 0 {
-		lv.slab = make([]candidate, candidateSlabSize)
-	}
-	c := &lv.slab[0]
-	lv.slab = lv.slab[1:]
-	return c
+// candidate returns the candidate addressed by handle h.
+func (lv *level) candidate(h uint32) *candidate {
+	return &lv.pages[h>>candidatePageShift][h&(candidatePageSize-1)]
 }
 
-// recycle resets an evicted candidate and returns it (and its sketch,
-// reset) to the level's pools. Callers must be done reading it.
-func (lv *level) recycle(c *candidate) {
+// alloc returns a zeroed candidate and its handle, from the free list
+// or by carving the next page slot.
+func (lv *level) alloc() (uint32, *candidate) {
+	if n := len(lv.free) - 1; n >= 0 {
+		h := lv.free[n]
+		lv.free = lv.free[:n]
+		return h, lv.candidate(h)
+	}
+	if int(lv.next) == len(lv.pages)<<candidatePageShift {
+		lv.pages = append(lv.pages, make([]candidate, candidatePageSize))
+	}
+	h := lv.next
+	lv.next++
+	return h, lv.candidate(h)
+}
+
+// recycle resets an evicted candidate and returns its handle (and its
+// sketch, reset) to the level's pools. Callers must be done reading it.
+func (lv *level) recycle(h uint32, c *candidate) {
 	if c.sketch != nil {
 		c.sketch.Reset()
 		lv.freeSketch = append(lv.freeSketch, c.sketch)
 	}
 	*c = candidate{}
-	lv.free = append(lv.free, c)
+	lv.free = append(lv.free, h)
 }
 
 // observeDst records one destination for a candidate, materializing
@@ -240,6 +261,11 @@ type Engine struct {
 	// state endpoint) can read it from any goroutine while the engine
 	// processes on its own — the only engine field with that property.
 	dropped atomic.Uint64
+
+	// scrDst is the per-run destination scratch for ProcessBatch; one
+	// backs the Process single-record wrapper.
+	scrDst []netaddr6.U128
+	one    [1]firewall.Record
 }
 
 // New returns an engine.
@@ -271,7 +297,7 @@ func New(cfg Config) *Engine {
 	cfg.Levels = levels
 	e := &Engine{cfg: cfg}
 	for _, l := range levels {
-		e.levels = append(e.levels, &level{agg: l, candidates: make(map[netaddr6.U128]*candidate)})
+		e.levels = append(e.levels, &level{agg: l})
 	}
 	return e
 }
@@ -282,37 +308,90 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Process ingests one record, updating every level's candidate.
 func (e *Engine) Process(r firewall.Record) {
-	if r.Time.After(e.now) {
-		e.now = r.Time
-	}
-	src, dst := netaddr6.ToU128(r.Src), netaddr6.ToU128(r.Dst)
-	for _, lv := range e.levels {
-		key := src.Mask(int(lv.agg))
-		c := lv.candidates[key]
-		if c == nil {
-			if len(lv.candidates) >= e.cfg.MaxCandidates {
-				e.dropped.Add(1)
-				continue
-			}
-			c = lv.newCandidate()
-			c.firstDst, c.first = dst, r.Time
-			lv.candidates[key] = c
-		} else {
-			lv.observeDst(c, dst, e.cfg.SketchPrecision)
-		}
-		c.packets++
-		c.last = r.Time
-		if lv.oldest.IsZero() || r.Time.Before(lv.oldest) {
-			lv.oldest = r.Time
-		}
-	}
+	e.one[0] = r
+	e.ProcessBatch(e.one[:])
 }
 
 // ProcessBatch ingests a run of records. The slice is not retained, so
 // callers may reuse the backing array between calls.
+//
+// Adjacent records with the same source (the shape dispatch staging
+// and real scan bursts produce) are grouped into runs, so N records to
+// one candidate cost one index probe per aggregation level instead of
+// N map lookups.
 func (e *Engine) ProcessBatch(recs []firewall.Record) {
-	for _, r := range recs {
-		e.Process(r)
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].Src == recs[i].Src {
+			j++
+		}
+		e.ingestRun(recs[i:j])
+		i = j
+	}
+}
+
+// ingestRun applies one same-source run: a single index probe per
+// level resolves (or, below the MaxCandidates bound, creates in the
+// same probe) the candidate, and each record then updates it through
+// the cached pointer. No index mutation happens inside a run, so the
+// value pointer from the initial probe stays valid throughout.
+func (e *Engine) ingestRun(rs []firewall.Record) {
+	e.scrDst = e.scrDst[:0]
+	for _, r := range rs {
+		if r.Time.After(e.now) {
+			e.now = r.Time
+		}
+		e.scrDst = append(e.scrDst, netaddr6.ToU128(r.Dst))
+	}
+	src := netaddr6.ToU128(rs[0].Src)
+	for _, lv := range e.levels {
+		key := src.Mask(int(lv.agg))
+		var c *candidate
+		if lv.idx.Len() < e.cfg.MaxCandidates {
+			// Below the bound, lookup and admission are one probe.
+			vp, existed := lv.idx.RefH(u128idx.Hash(key), key)
+			if existed {
+				c = lv.candidate(*vp)
+			} else {
+				var h uint32
+				h, c = lv.alloc()
+				*vp = h
+				c.firstDst, c.first = e.scrDst[0], rs[0].Time
+				lv.observe(c, rs[0])
+				if len(rs) == 1 {
+					continue
+				}
+				rs := rs[1:]
+				for k, r := range rs {
+					lv.observeDst(c, e.scrDst[k+1], e.cfg.SketchPrecision)
+					lv.observe(c, r)
+				}
+				continue
+			}
+		} else {
+			// At the bound only existing candidates admit records; a
+			// missing key drops every record of the run, as the
+			// per-record path did.
+			h, ok := lv.idx.GetH(u128idx.Hash(key), key)
+			if !ok {
+				e.dropped.Add(uint64(len(rs)))
+				continue
+			}
+			c = lv.candidate(h)
+		}
+		for k, r := range rs {
+			lv.observeDst(c, e.scrDst[k], e.cfg.SketchPrecision)
+			lv.observe(c, r)
+		}
+	}
+}
+
+// observe applies one record's bookkeeping to a resolved candidate.
+func (lv *level) observe(c *candidate, r firewall.Record) {
+	c.packets++
+	c.last = r.Time
+	if lv.oldest.IsZero() || r.Time.Before(lv.oldest) {
+		lv.oldest = r.Time
 	}
 }
 
@@ -346,7 +425,7 @@ func (e *Engine) Drain() []Alert {
 func (e *Engine) Candidates(l netaddr6.AggLevel) int {
 	for _, lv := range e.levels {
 		if lv.agg == l {
-			return len(lv.candidates)
+			return lv.idx.Len()
 		}
 	}
 	return 0
@@ -358,11 +437,12 @@ func (e *Engine) Candidates(l netaddr6.AggLevel) int {
 func (e *Engine) MemoryBytes() int {
 	total := 0
 	for _, lv := range e.levels {
-		for _, c := range lv.candidates {
-			if c.sketch != nil {
+		lv.idx.Range(func(_ netaddr6.U128, h uint32) bool {
+			if c := lv.candidate(h); c.sketch != nil {
 				total += c.sketch.MemoryBytes()
 			}
-		}
+			return true
+		})
 	}
 	return total
 }
@@ -374,14 +454,14 @@ func (e *Engine) MemoryBytes() int {
 func (e *Engine) sweep(all bool) {
 	type closedScan struct {
 		key netaddr6.U128
-		c   *candidate
+		h   uint32
 	}
 	var (
 		closed  []closedScan // reused per level
 		emitted []Alert
 	)
 	for _, lv := range e.levels {
-		if len(lv.candidates) == 0 {
+		if lv.idx.Len() == 0 {
 			continue
 		}
 		if !all && e.now.Sub(lv.oldest) <= e.cfg.Timeout {
@@ -391,20 +471,22 @@ func (e *Engine) sweep(all bool) {
 		}
 		closed = closed[:0]
 		var oldest time.Time
-		for key, c := range lv.candidates {
+		lv.idx.Range(func(key netaddr6.U128, h uint32) bool {
+			c := lv.candidate(h)
 			if !all && e.now.Sub(c.last) <= e.cfg.Timeout {
 				if oldest.IsZero() || c.last.Before(oldest) {
 					oldest = c.last
 				}
-				continue
+				return true
 			}
-			delete(lv.candidates, key)
+			lv.idx.Delete(key)
 			if c.estimate() >= uint64(e.cfg.MinDsts) {
-				closed = append(closed, closedScan{key: key, c: c})
+				closed = append(closed, closedScan{key: key, h: h})
 			} else {
-				lv.recycle(c)
+				lv.recycle(h, c)
 			}
-		}
+			return true
+		})
 		// Tighten the bound to the surviving minimum (zero when the
 		// level emptied).
 		lv.oldest = oldest
@@ -418,6 +500,7 @@ func (e *Engine) sweep(all bool) {
 		// cannot intersect, and scan destination sets at different
 		// levels of one entity nest).
 		for _, cs := range closed {
+			c := lv.candidate(cs.h)
 			prefix := netip.PrefixFrom(cs.key.ToAddr(), int(lv.agg))
 			var coveredDsts uint64
 			for _, a := range emitted {
@@ -425,7 +508,7 @@ func (e *Engine) sweep(all bool) {
 					coveredDsts += a.EstimatedDsts
 				}
 			}
-			est := cs.c.estimate()
+			est := c.estimate()
 			if float64(coveredDsts) >= e.cfg.CoverageShare*float64(est) {
 				continue // explained by finer alerts
 			}
@@ -433,16 +516,16 @@ func (e *Engine) sweep(all bool) {
 				Prefix:        prefix,
 				Level:         lv.agg,
 				EstimatedDsts: est,
-				Packets:       cs.c.packets,
-				First:         cs.c.first,
-				Last:          cs.c.last,
+				Packets:       c.packets,
+				First:         c.first,
+				Last:          c.last,
 				Escalated:     coveredDsts > 0 || lv.agg != e.levels[0].agg,
 			})
 		}
 		// Alerts hold copies of everything they need; the closed
 		// candidates (and their sketches) can re-enter the arena.
 		for _, cs := range closed {
-			lv.recycle(cs.c)
+			lv.recycle(cs.h, lv.candidate(cs.h))
 		}
 	}
 	e.alerts = append(e.alerts, emitted...)

@@ -108,9 +108,11 @@ func snapshotEngines(w io.Writer, cfg Config, engines []*Engine, mark time.Time)
 	for li := range cfg.Levels {
 		cands = cands[:0]
 		for _, eng := range engines {
-			for key, c := range eng.levels[li].candidates {
-				cands = append(cands, keyed{key, c})
-			}
+			lv := eng.levels[li]
+			lv.idx.Range(func(key netaddr6.U128, h uint32) bool {
+				cands = append(cands, keyed{key, lv.candidate(h)})
+				return true
+			})
 		}
 		sort.Slice(cands, func(i, j int) bool { return cands[i].key.Cmp(cands[j].key) < 0 })
 		e.B = e.B[:0]
@@ -300,7 +302,7 @@ func decodeCandidate(d *checkpoint.Dec, engines []*Engine, li int, coarsest neta
 		shard = dispatch.Partition(key.ToAddr(), coarsest, n)
 	}
 	lv := engines[shard].levels[li]
-	c := lv.newCandidate()
+	h, c := lv.alloc()
 	c.packets = d.Uvarint()
 	c.first = d.Time()
 	c.last = d.Time()
@@ -314,24 +316,24 @@ func decodeCandidate(d *checkpoint.Dec, engines []*Engine, li int, coarsest neta
 			regs = d.Raw(1 << precision)
 		}
 		if err := d.Err(); err != nil {
-			lv.recycle(c)
+			lv.recycle(h, c)
 			return err
 		}
 		sketch, err := core.RestoreDstSketch(precision, regs)
 		if err != nil {
-			lv.recycle(c)
+			lv.recycle(h, c)
 			return fmt.Errorf("%w: %v", checkpoint.ErrFormat, err)
 		}
 		c.sketch = sketch
 	default:
-		lv.recycle(c)
+		lv.recycle(h, c)
 		return fmt.Errorf("%w: candidate sketch flag %d", checkpoint.ErrFormat, flag)
 	}
 	if err := d.Err(); err != nil {
-		lv.recycle(c)
+		lv.recycle(h, c)
 		return err
 	}
-	lv.candidates[key] = c
+	lv.idx.Put(key, h)
 	// Recompute the oldest-activity bound tight: the minimum surviving
 	// last-activity time (see the package comment above for why tight
 	// vs the live engine's conservative bound cannot change output).

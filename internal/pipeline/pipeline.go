@@ -134,6 +134,41 @@
 //     deterministically and Snapshot∘Restore∘Snapshot is
 //     byte-identity.
 //
+// # State index
+//
+// The stateful sinks' working sets — the detector's per-level session
+// tables, the IDS engine's per-level candidate tables, and each
+// session's destination/source address sets — live in internal/u128idx
+// rather than built-in maps: an open-addressed index specialized for
+// pointer-free U128 keys whose u32 values are handles into paged
+// per-level arenas that the detector and IDS own. Three rules keep
+// that invisible at the pipeline layer:
+//
+//   - Ownership follows the sink. An index and its arena belong to
+//     exactly one shard's detector/engine, mutated only by that
+//     shard's worker goroutine; the dispatcher barrier that makes
+//     shard state readable for snapshots covers them like any other
+//     shard state. Nothing in a batch ever holds an index reference,
+//     so the batch-loan rule above is unaffected.
+//   - Iteration order is NOT deterministic, exactly like map order.
+//     Every output seam (snapshot sections, sharded merges, Scans and
+//     Drain orderings) sorts canonically — by key, or by the
+//     deterministic alert/scan total orders — before bytes leave the
+//     sink, so index layout, shard count, and probe history never
+//     reach an output. u128idx.AppendKeysSorted is the
+//     canonical-iteration helper those seams use.
+//   - Small sets stay inline. Per-session address sets start as a
+//     sorted array (u128idx.SmallSetSpill entries) and spill to an
+//     index only beyond it; both representations serialize as the same
+//     sorted logical set, so the cutoff is a pure time/space knob —
+//     re-tune it freely without touching any format or golden output.
+//
+// Batches also feed the index efficiently: the detector's and IDS's
+// ProcessBatch group adjacent same-source records so a burst costs one
+// probe per aggregation level, and the dispatcher preserves that
+// adjacency when partitioning (same-source runs stay contiguous within
+// a shard's batch).
+//
 // # Serving
 //
 // TailSource is the follow-mode counterpart of LogSource: it polls a

@@ -109,12 +109,7 @@ func (s *DetectorSink) ConsumeBatch(recs []firewall.Record) error {
 		s.cadences(s, s.AdvanceEvery, &s.lastAdvance,
 			func(t time.Time) error { s.D.Advance(t); return nil }),
 		func(part []firewall.Record) error {
-			for _, r := range part {
-				if err := s.D.Process(r); err != nil {
-					return err
-				}
-			}
-			return nil
+			return s.D.ProcessBatch(part)
 		})
 }
 

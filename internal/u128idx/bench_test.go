@@ -1,0 +1,123 @@
+package u128idx
+
+import (
+	"testing"
+
+	"v6scan/internal/netaddr6"
+)
+
+const benchKeys = 1 << 14
+
+func benchKeySet() []netaddr6.U128 {
+	keys := make([]netaddr6.U128, benchKeys)
+	for i := range keys {
+		// splitmix-style spread so the keys behave like masked prefixes.
+		z := uint64(i)*0x9e3779b97f4a7c15 + 1
+		keys[i] = netaddr6.U128{Hi: z ^ z>>31, Lo: uint64(i) << 16}
+	}
+	return keys
+}
+
+// BenchmarkU128IdxInsert measures bulk insert into a reused (Reset)
+// table, the detector's session-create path.
+func BenchmarkU128IdxInsert(b *testing.B) {
+	keys := benchKeySet()
+	ix := NewIndex(benchKeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Reset()
+		for j, k := range keys {
+			p, _ := ix.Ref(k)
+			*p = uint32(j)
+		}
+	}
+}
+
+// BenchmarkMapU128Insert is the builtin-map baseline for Insert.
+func BenchmarkMapU128Insert(b *testing.B) {
+	keys := benchKeySet()
+	m := make(map[netaddr6.U128]uint32, benchKeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(m)
+		for j, k := range keys {
+			m[k] = uint32(j)
+		}
+	}
+}
+
+// BenchmarkU128IdxLookup measures hit lookups on a full table, the
+// detector's session-update path.
+func BenchmarkU128IdxLookup(b *testing.B) {
+	keys := benchKeySet()
+	ix := NewIndex(benchKeys)
+	for j, k := range keys {
+		ix.Put(k, uint32(j))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			v, _ := ix.Get(k)
+			sink += v
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkMapU128Lookup is the builtin-map baseline for Lookup.
+func BenchmarkMapU128Lookup(b *testing.B) {
+	keys := benchKeySet()
+	m := make(map[netaddr6.U128]uint32, benchKeys)
+	for j, k := range keys {
+		m[k] = uint32(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			sink += m[k]
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkU128IdxChurn measures steady-state delete+insert over a
+// fixed working set — the session timeout/recycle pattern, which is
+// where tombstone handling earns or loses its keep.
+func BenchmarkU128IdxChurn(b *testing.B) {
+	keys := benchKeySet()
+	ix := NewIndex(benchKeys)
+	for j, k := range keys {
+		ix.Put(k, uint32(j))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, k := range keys {
+			ix.Delete(k)
+			ix.Put(k, uint32(j))
+		}
+	}
+}
+
+// BenchmarkMapU128Churn is the builtin-map baseline for Churn.
+func BenchmarkMapU128Churn(b *testing.B) {
+	keys := benchKeySet()
+	m := make(map[netaddr6.U128]uint32, benchKeys)
+	for j, k := range keys {
+		m[k] = uint32(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, k := range keys {
+			delete(m, k)
+			m[k] = uint32(j)
+		}
+	}
+}
