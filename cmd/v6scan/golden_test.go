@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -294,5 +295,65 @@ func TestGoldenFixtureDeterministic(t *testing.T) {
 		if !bytes.Equal(buf.Bytes(), disk) {
 			t.Error("committed golden.log does not match the generator; regenerate with -update or revert the generator change")
 		}
+	}
+}
+
+// TestGoldenPublish pins the distributed demonstration end to end: the
+// fixture split across N publisher pipelines feeding one aggregator
+// over the in-process event bus must reproduce the committed
+// single-process goldens byte for byte, on the detector and IDS paths,
+// serial and sharded — the tentpole's acceptance bar at the CLI.
+func TestGoldenPublish(t *testing.T) {
+	log := fixturePath(t)
+
+	base := runGolden(t, "-i", log, "-filter", "-shards", "1")
+	goldenCompare(t, filepath.Join("testdata", "golden_detect.txt"), base)
+	for _, n := range []string{"1", "3"} {
+		for _, shards := range []string{"1", "4"} {
+			got := runGolden(t, "-i", log, "-filter", "-shards", shards, "-publish", n)
+			if got != base {
+				t.Errorf("-publish %s -shards %s: output differs from direct run\n--- got ---\n%s\n--- want ---\n%s",
+					n, shards, got, base)
+			}
+		}
+	}
+
+	baseIDS := runGolden(t, "-i", log, "-ids", "-shards", "1")
+	if got := runGolden(t, "-i", log, "-ids", "-shards", "1", "-publish", "3"); got != baseIDS {
+		t.Errorf("-publish 3 -ids: output differs from direct run\n--- got ---\n%s\n--- want ---\n%s", got, baseIDS)
+	}
+}
+
+// TestPublishFlagValidation pins the -publish input contract: exactly
+// one binary log file, and no -resume (the partition level must match
+// the detection levels, which on resume live inside the snapshot).
+func TestPublishFlagValidation(t *testing.T) {
+	log := fixturePath(t)
+	var stdout, stderr bytes.Buffer
+	fail := func(wantSubstr string, args ...string) {
+		t.Helper()
+		stdout.Reset()
+		stderr.Reset()
+		err := run(args, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), wantSubstr) {
+			t.Errorf("run(%v): err = %v, want mention of %q", args, err, wantSubstr)
+		}
+	}
+	fail("-resume", "-publish", "3", "-resume",
+		"-checkpoint-dir", t.TempDir(), "-checkpoint-every", "1m", "-i", log)
+	fail("exactly one", "-publish", "3", "-i", "-")
+	fail("exactly one", "-publish", "3", "-i", "capture.pcap")
+	fail("exactly one", "-publish", "3", log, log)
+}
+
+// TestDuplicateInputRejected pins the multi-file guard at the CLI: the
+// same log listed twice must refuse with the duplicate diagnostic
+// rather than silently double-counting every record.
+func TestDuplicateInputRejected(t *testing.T) {
+	log := fixturePath(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{log, log}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "duplicate input") {
+		t.Errorf("run with a repeated input: err = %v, want duplicate-input diagnostic", err)
 	}
 }

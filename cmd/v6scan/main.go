@@ -67,6 +67,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"v6scan"
@@ -113,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ckptDir  = fs.String("checkpoint-dir", "", "write versioned snapshots of detector/IDS state into this directory on the -checkpoint-every cadence; with -resume, also where the snapshot to restore is found")
 		ckptEv   = fs.Duration("checkpoint-every", time.Hour, "stream-time cadence between checkpoints (needs -checkpoint-dir)")
 		resume   = fs.Bool("resume", false, "restore the latest checkpoint in -checkpoint-dir and skip the already-processed input prefix")
+		publish  = fs.Int("publish", 0, "distributed demonstration: split the input log across N publisher pipelines feeding one aggregator over an in-process event bus (output is identical to the direct run; needs a single binary log input)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -154,6 +156,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *ckptDir == "" {
 			return fmt.Errorf("-resume needs -checkpoint-dir")
 		}
+		// A crashed earlier run may have stranded a half-written temp in
+		// the checkpoint dir; clean those out before picking a snapshot.
+		if _, err := v6scan.SweepCheckpointTemps(*ckptDir); err != nil {
+			return err
+		}
 		path, err := v6scan.LatestCheckpoint(*ckptDir)
 		if err != nil {
 			return err
@@ -165,7 +172,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	b, reportSkipped, closer, err := openSource(inputs, *window, *workers, stderr)
+	var (
+		b             *v6scan.Builder
+		reportSkipped func()
+		closer        io.Closer
+		waitPubs      func() error
+		err           error
+	)
+	if *publish > 0 {
+		if *resume {
+			// The partition level must match the detection levels, which
+			// on resume travel inside the snapshot; keep the combination
+			// out of scope rather than partially honoring the flags.
+			return fmt.Errorf("-publish cannot be combined with -resume")
+		}
+		b, waitPubs, closer, err = openPublishSplit(inputs, *publish, *window,
+			v6scan.CoarsestLevel(cfg.Levels))
+	} else {
+		b, reportSkipped, closer, err = openSource(inputs, *window, *workers, stderr)
+	}
 	if err != nil {
 		return err
 	}
@@ -201,10 +226,86 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		err = runDetect(b, stdout, cfg, *shards, *topN, &counted, resumed)
 	}
+	if waitPubs != nil {
+		if perr := waitPubs(); err == nil {
+			err = perr
+		}
+	}
 	if reportSkipped != nil {
 		reportSkipped()
 	}
 	return err
+}
+
+// publishTopics is the per-publisher topic fan-out of -publish: each
+// publisher partitions its stream across this many prefix-keyed topics
+// (the aggregator merges publishers × topics of them).
+const publishTopics = 4
+
+// openPublishSplit is the -publish input path: the single log file is
+// split into n contiguous record-aligned chunks, each chunk replayed
+// by its own publisher pipeline onto an in-process event bus, and the
+// returned builder is the aggregator consuming all topics merged in
+// time order — the collectors→aggregator deployment in one process.
+// The subscriber's subscriptions attach before any publisher starts,
+// so no envelope can be lost. The returned wait func joins the
+// publishers and surfaces the first real publisher error (cancelled
+// publishes after a subscriber failure are expected teardown, not
+// errors).
+func openPublishSplit(inputs []string, n int, window time.Duration, level v6scan.AggLevel) (*v6scan.Builder, func() error, io.Closer, error) {
+	if len(inputs) != 1 || inputs[0] == "-" || strings.HasSuffix(inputs[0], ".pcap") {
+		return nil, nil, nil, fmt.Errorf("-publish needs exactly one binary log file input")
+	}
+	f, err := os.Open(inputs[0])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	chunks := v6scan.PlanLogChunks(fi.Size(), n)
+
+	// Topic order is the merge tie-break order: publisher-major, so
+	// records tying on the chunk-boundary timestamp reproduce the
+	// original file order.
+	bus := v6scan.NewBus()
+	topics := make([][]string, len(chunks))
+	var all []string
+	for i := range chunks {
+		topics[i] = v6scan.RecordTopics(fmt.Sprintf("pub%d", i), publishTopics)
+		all = append(all, topics[i]...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := v6scan.FromBusContext(ctx, bus, all...) // subscribes now
+	if window > 0 {
+		b.WindowSort(window)
+	}
+
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		wg.Add(1)
+		go func(i int, c v6scan.LogChunk) {
+			defer wg.Done()
+			src := v6scan.NewLogSource(io.NewSectionReader(f, c.Offset, c.Length))
+			errs[i] = v6scan.From(src).PublishInto(ctx, bus, level, topics[i]...)
+		}(i, c)
+	}
+	wait := func() error {
+		// The aggregator is done (or failed): release any publisher still
+		// blocked on backpressure, then join them all.
+		cancel()
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil && !errors.Is(e, context.Canceled) {
+				return fmt.Errorf("publisher: %w", e)
+			}
+		}
+		return nil
+	}
+	return b, wait, f, nil
 }
 
 // runDetect terminates the prepared builder in the offline detector —

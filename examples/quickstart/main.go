@@ -3,8 +3,10 @@
 // aggregation level. This is the minimal end-to-end use of the public
 // API: a record source, a left-to-right builder chain, one terminal
 // call — first from an in-memory slice, then re-ingested from two
-// day-log files through the parallel multi-file path (FromFiles),
-// which produces identical results.
+// day-log files through the parallel multi-file path (FromFiles), and
+// finally split across two publisher pipelines feeding one aggregator
+// over an event bus (PublishInto / FromBus) — all three produce
+// identical results.
 package main
 
 import (
@@ -109,6 +111,49 @@ func main() {
 	}
 	fmt.Printf("— multi-file re-ingest: %d scans at %s (same as above) —\n",
 		len(det2.Scans(v6scan.Agg128)), v6scan.Agg128)
+
+	// Distributed split: the same pipeline cut in half at a process
+	// boundary. Each collector terminates its local chain in
+	// PublishInto, which partitions its stream across per-collector
+	// topics by coarsest-level source prefix and ships CRC-guarded
+	// envelopes over an event bus; the aggregator subscribes to every
+	// topic with FromBus (subscriptions attach immediately, so start it
+	// first), merges them back into one time-ordered stream, and runs
+	// detection — output identical to the single-process runs above.
+	cfg := v6scan.DefaultDetectorConfig()
+	level := v6scan.CoarsestLevel(cfg.Levels) // topic partition key
+	bus := v6scan.NewBus()
+	topics := [][]string{
+		v6scan.RecordTopics("collector0", 2),
+		v6scan.RecordTopics("collector1", 2),
+	}
+	// Aggregator half. Topic order is the merge tie-break: list
+	// collector0's topics before collector1's.
+	agg := v6scan.FromBus(bus, append(topics[0], topics[1]...)...)
+
+	// Collector halves, one goroutine each (in a real deployment, one
+	// process each, with the bus replaced by a broker).
+	pubErrs := make(chan error, len(topics))
+	for i, tp := range topics {
+		go func(i int, tp []string) {
+			lo, hi := i*len(recs)/2, (i+1)*len(recs)/2
+			pubErrs <- v6scan.From(v6scan.NewSliceSource(recs[lo:hi])).
+				Policy(v6scan.DefaultCollectPolicy()).
+				PublishInto(context.Background(), bus, level, tp...)
+		}(i, tp)
+	}
+	det3, err := agg.AdvanceEvery(time.Minute).
+		Detect(context.Background(), cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for range topics {
+		if err := <-pubErrs; err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("— distributed 2-collector run: %d scans at %s (same as above) —\n",
+		len(det3.Scans(v6scan.Agg128)), v6scan.Agg128)
 }
 
 // addrPlus returns base + n (IID arithmetic).

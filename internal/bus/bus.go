@@ -1,0 +1,245 @@
+// Package bus is the in-memory message broker the distributed
+// pipeline endpoints ride in tests, CI, and single-process
+// collectors→aggregator splits: publishers and subscribers exchange
+// opaque byte messages over named topics with bounded buffering and
+// blocking backpressure, the same contract a networked broker would
+// provide, but hermetic.
+//
+// # Model
+//
+// Topics are created implicitly on first use. A Subscription attaches
+// to a fixed topic set at creation time and pulls messages from one
+// bounded buffer; Publish copies the payload and delivers it to every
+// subscription attached to the topic at that moment, blocking — per
+// subscriber — while that subscriber's buffer is full. Backpressure is
+// therefore end-to-end: a publisher can run ahead of a consumer by at
+// most the subscription depth. Publishing to a topic nobody subscribes
+// to drops the message (counted in Stats); subscribe before
+// publishing.
+//
+// # Ordering
+//
+// Messages published to one topic arrive at each subscriber in publish
+// order (delivery happens under the publisher's call, into a FIFO
+// buffer). Messages on different topics have no relative order, even
+// within one subscription. Each topic carries a bus-assigned sequence
+// number, monotone from 1, that subscribers can use to detect missed
+// messages (a subscription created after publishing started).
+package bus
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultDepth is the per-subscription buffer depth when Subscribe is
+// given a non-positive one: deep enough that moderately skewed topic
+// traffic does not stall a publisher, small enough to bound memory.
+const DefaultDepth = 64
+
+// ErrClosed is returned by operations on a closed bus or subscription.
+var ErrClosed = errors.New("bus: closed")
+
+// Msg is one delivered message. Data is shared by every subscriber of
+// the topic: receivers must treat it as read-only.
+type Msg struct {
+	Topic string
+	// Seq is the topic's bus-assigned sequence number, monotone from 1.
+	Seq  uint64
+	Data []byte
+}
+
+// Stats is a point-in-time copy of the bus counters.
+type Stats struct {
+	// Published counts Publish calls that completed (including drops).
+	Published uint64
+	// Delivered counts per-subscriber deliveries.
+	Delivered uint64
+	// Dropped counts publishes to topics with no subscriber.
+	Dropped uint64
+}
+
+// Bus is an in-memory broker. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
+type Bus struct {
+	mu     sync.Mutex
+	closed bool
+	topics map[string]*topic
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+type topic struct {
+	seq  uint64
+	subs []*Subscription
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{topics: make(map[string]*topic)}
+}
+
+// Stats returns the current counters.
+func (b *Bus) Stats() Stats {
+	return Stats{
+		Published: b.published.Load(),
+		Delivered: b.delivered.Load(),
+		Dropped:   b.dropped.Load(),
+	}
+}
+
+// Close shuts the bus down: every subscription is closed and future
+// publishes fail with ErrClosed. Messages already buffered remain
+// pullable until each subscription drains or closes.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var subs []*Subscription
+	for _, t := range b.topics {
+		subs = append(subs, t.subs...)
+		t.subs = nil
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.markClosed()
+	}
+}
+
+// Publish delivers data on topic to every current subscriber, copying
+// the payload once (subscribers share the copy read-only). It blocks,
+// per subscriber, while that subscriber's buffer is full — the
+// backpressure path — and unblocks when the subscriber pulls, closes,
+// or ctx is cancelled. With no subscriber the message is dropped and
+// counted.
+func (b *Bus) Publish(ctx context.Context, topicName string, data []byte) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	t := b.topics[topicName]
+	if t == nil {
+		t = &topic{}
+		b.topics[topicName] = t
+	}
+	t.seq++
+	msg := Msg{Topic: topicName, Seq: t.seq}
+	subs := append([]*Subscription(nil), t.subs...)
+	b.mu.Unlock()
+
+	b.published.Add(1)
+	if len(subs) == 0 {
+		b.dropped.Add(1)
+		return nil
+	}
+	msg.Data = append([]byte(nil), data...)
+	for _, s := range subs {
+		select {
+		case s.ch <- msg:
+			b.delivered.Add(1)
+		case <-s.done:
+			// Subscriber left between the snapshot and the send.
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Subscribe attaches a new subscription to the given topics (at least
+// one) with a buffer of depth messages (DefaultDepth when depth <= 0).
+// Messages published to any of the topics from this moment on are
+// delivered into the subscription's buffer in per-topic publish order.
+func (b *Bus) Subscribe(depth int, topics ...string) (*Subscription, error) {
+	if len(topics) == 0 {
+		return nil, errors.New("bus: subscribe needs at least one topic")
+	}
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	s := &Subscription{
+		bus:    b,
+		topics: append([]string(nil), topics...),
+		ch:     make(chan Msg, depth),
+		done:   make(chan struct{}),
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	for _, name := range s.topics {
+		t := b.topics[name]
+		if t == nil {
+			t = &topic{}
+			b.topics[name] = t
+		}
+		t.subs = append(t.subs, s)
+	}
+	return s, nil
+}
+
+// Subscription is one bounded pull endpoint over a fixed topic set.
+type Subscription struct {
+	bus    *Bus
+	topics []string
+	ch     chan Msg
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Pull returns the next buffered message, blocking until one arrives,
+// the subscription (or bus) closes — ErrClosed — or ctx is cancelled.
+// After close, messages already buffered are still drained first.
+func (s *Subscription) Pull(ctx context.Context) (Msg, error) {
+	select {
+	case m := <-s.ch:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-s.ch:
+		return m, nil
+	case <-s.done:
+		// Closed, but a publisher may have delivered before we detached:
+		// drain what is buffered before reporting the close.
+		select {
+		case m := <-s.ch:
+			return m, nil
+		default:
+			return Msg{}, ErrClosed
+		}
+	case <-ctx.Done():
+		return Msg{}, ctx.Err()
+	}
+}
+
+// Close detaches the subscription: publishers stop delivering to it
+// (and any publisher blocked on its full buffer unblocks). Idempotent.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	for _, name := range s.topics {
+		if t := s.bus.topics[name]; t != nil {
+			for i, sub := range t.subs {
+				if sub == s {
+					t.subs = append(t.subs[:i], t.subs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	s.bus.mu.Unlock()
+	s.markClosed()
+}
+
+func (s *Subscription) markClosed() {
+	s.once.Do(func() { close(s.done) })
+}

@@ -257,6 +257,12 @@ type Enc struct {
 // U8 appends one byte.
 func (e *Enc) U8(v uint8) { e.B = append(e.B, v) }
 
+// U16 appends a fixed-width little-endian uint16.
+func (e *Enc) U16(v uint16) { e.B = binary.LittleEndian.AppendUint16(e.B, v) }
+
+// U32 appends a fixed-width little-endian uint32.
+func (e *Enc) U32(v uint32) { e.B = binary.LittleEndian.AppendUint32(e.B, v) }
+
 // U64 appends a fixed-width little-endian uint64.
 func (e *Enc) U64(v uint64) { e.B = binary.LittleEndian.AppendUint64(e.B, v) }
 
@@ -306,6 +312,28 @@ func (d *Dec) U8() uint8 {
 	}
 	v := d.b[0]
 	d.b = d.b[1:]
+	return v
+}
+
+// U16 reads a fixed-width little-endian uint16.
+func (d *Dec) U16() uint16 {
+	if len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+// U32 reads a fixed-width little-endian uint32.
+func (d *Dec) U32() uint32 {
+	if len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
 	return v
 }
 

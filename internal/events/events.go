@@ -1,0 +1,317 @@
+// Package events defines the wire envelope carried between distributed
+// pipeline endpoints: the unit a vantage-point collector publishes and
+// an aggregator consumes. An envelope frames a run of firewall records
+// (or finished alerts) for one topic, with a per-topic sequence number
+// so a consumer can detect gaps, and an end-of-stream marker so a
+// publisher can hand off a finite stream cleanly.
+//
+// # Format (version 1)
+//
+// One envelope is a self-contained, CRC-guarded message:
+//
+//	envelope := magic[8] version:u16 kind:u8 reserved:u8
+//	            topicLen:u16 topic[topicLen]
+//	            seq:u64 count:u32 payload crc32c:u32
+//
+// Header integers are little-endian, encoded with the same
+// checkpoint.Enc/Dec primitives the snapshot container uses, and the
+// trailing CRC-32C (Castagnoli) covers every preceding byte — the same
+// corruption discipline as internal/checkpoint. The payload is count
+// back-to-back fixed-width bodies: firewall records in their 47-byte
+// log wire form (KindRecords), alert bodies (KindAlerts), or nothing
+// (KindEOS, count must be zero). The encoding is canonical: decoding a
+// valid envelope and re-encoding it reproduces the input bytes exactly
+// (FuzzEnvelopeRoundtrip).
+//
+// # Topics
+//
+// Topics partition a record stream the same way the sharded consumers
+// do: by the source address aggregated to the coarsest configured
+// level (dispatch.Partition), so all state for a source — at every
+// aggregation level — is reachable through exactly one topic. Within a
+// topic, envelope order is stream order (Seq increments by one);
+// across topics there is no ordering, which is precisely the freedom
+// the sharding invariant licenses. RecordTopics/AlertTopic name the
+// per-partition topics of one publisher's stream.
+package events
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+
+	"v6scan/internal/checkpoint"
+	"v6scan/internal/firewall"
+	"v6scan/internal/ids"
+	"v6scan/internal/netaddr6"
+)
+
+// magic identifies a v6scan event envelope. The CR/LF tail catches
+// text-mode transfer mangling, like the snapshot container's magic.
+var magic = [8]byte{'v', '6', 'e', 'v', 'n', 't', '\r', '\n'}
+
+// Version is the current (and only) envelope format version.
+const Version uint16 = 1
+
+// Envelope kinds.
+const (
+	// KindRecords carries a run of firewall records in log wire form.
+	KindRecords uint8 = 1
+	// KindAlerts carries finished IDS alerts (an aggregator's output
+	// published onward).
+	KindAlerts uint8 = 2
+	// KindEOS marks the end of a topic's stream: the publisher is done
+	// and will not publish to this topic again. Count is always zero.
+	KindEOS uint8 = 3
+)
+
+// Typed codec errors, mirroring the checkpoint container's set so
+// callers distinguish corruption from version skew from truncation.
+var (
+	ErrBadMagic  = errors.New("events: bad magic (not a v6scan envelope)")
+	ErrVersion   = errors.New("events: unsupported envelope format version")
+	ErrChecksum  = errors.New("events: checksum mismatch (envelope corrupted)")
+	ErrTruncated = errors.New("events: envelope truncated")
+	ErrFormat    = errors.New("events: malformed envelope")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// headerSize is the fixed part before the topic bytes; minSize is the
+// smallest possible envelope (empty topic, empty payload).
+const (
+	headerSize = 8 + 2 + 1 + 1 + 2
+	minSize    = headerSize + 8 + 4 + 4
+)
+
+// alertWireSize is the fixed encoded size of one alert body:
+// addr[16] bits:u8 level:u8 estDsts:u64 packets:u64
+// first:i64 last:i64 escalated:u8.
+const alertWireSize = 16 + 1 + 1 + 8 + 8 + 8 + 8 + 1
+
+// Envelope is one decoded wire message. Exactly one of Records and
+// Alerts is populated, matching Kind; both are nil for KindEOS.
+type Envelope struct {
+	Kind  uint8
+	Topic string
+	// Seq is the per-topic sequence number the publisher assigned,
+	// starting at 0 and incrementing by one per envelope (the EOS
+	// envelope takes the next number in line).
+	Seq     uint64
+	Records []firewall.Record
+	Alerts  []ids.Alert
+}
+
+// count returns the body count for e's kind.
+func (e *Envelope) count() int {
+	switch e.Kind {
+	case KindRecords:
+		return len(e.Records)
+	case KindAlerts:
+		return len(e.Alerts)
+	default:
+		return 0
+	}
+}
+
+// Append encodes e onto b and returns the extended slice. The topic
+// must fit a u16 length and the kind must be one of the defined kinds
+// (with Records/Alerts populated only as the kind allows).
+func (e *Envelope) Append(b []byte) ([]byte, error) {
+	switch e.Kind {
+	case KindRecords:
+		if len(e.Alerts) != 0 {
+			return nil, fmt.Errorf("%w: alerts on a records envelope", ErrFormat)
+		}
+	case KindAlerts:
+		if len(e.Records) != 0 {
+			return nil, fmt.Errorf("%w: records on an alerts envelope", ErrFormat)
+		}
+	case KindEOS:
+		if len(e.Records) != 0 || len(e.Alerts) != 0 {
+			return nil, fmt.Errorf("%w: payload on an EOS envelope", ErrFormat)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown envelope kind %d", ErrFormat, e.Kind)
+	}
+	if len(e.Topic) > 0xFFFF {
+		return nil, fmt.Errorf("%w: topic longer than 65535 bytes", ErrFormat)
+	}
+	start := len(b)
+	enc := checkpoint.Enc{B: b}
+	enc.Raw(magic[:])
+	enc.U16(Version)
+	enc.U8(e.Kind)
+	enc.U8(0) // reserved
+	enc.U16(uint16(len(e.Topic)))
+	enc.Raw([]byte(e.Topic))
+	enc.U64(e.Seq)
+	enc.U32(uint32(e.count()))
+	switch e.Kind {
+	case KindRecords:
+		for _, r := range e.Records {
+			enc.B = r.AppendBinary(enc.B)
+		}
+	case KindAlerts:
+		for _, a := range e.Alerts {
+			appendAlert(&enc, a)
+		}
+	}
+	enc.U32(crc32.Checksum(enc.B[start:], castagnoli))
+	return enc.B, nil
+}
+
+// appendAlert encodes one alert body.
+func appendAlert(enc *checkpoint.Enc, a ids.Alert) {
+	addr := a.Prefix.Addr().As16()
+	enc.Raw(addr[:])
+	enc.U8(uint8(a.Prefix.Bits()))
+	enc.U8(uint8(a.Level))
+	enc.U64(a.EstimatedDsts)
+	enc.U64(a.Packets)
+	enc.Time(a.First)
+	enc.Time(a.Last)
+	if a.Escalated {
+		enc.U8(1)
+	} else {
+		enc.U8(0)
+	}
+}
+
+// Decode parses one complete envelope from b into e, reusing e's
+// Records/Alerts backing arrays. The slice must hold exactly one
+// envelope: trailing bytes are ErrFormat (the transport is
+// message-framed, so extra bytes mean a framing bug, not a second
+// envelope). Decoded Records/Alerts do not alias b.
+func (e *Envelope) Decode(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if !bytes.Equal(b[:8], magic[:]) {
+		return ErrBadMagic
+	}
+	if len(b) < minSize {
+		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	body, crcb := b[:len(b)-4], b[len(b)-4:]
+	d := checkpoint.NewDec(crcb)
+	if d.U32() != crc32.Checksum(body, castagnoli) {
+		return ErrChecksum
+	}
+	d = checkpoint.NewDec(body[8:])
+	if v := d.U16(); v != Version {
+		return fmt.Errorf("%w: version %d (supported: %d)", ErrVersion, v, Version)
+	}
+	e.Kind = d.U8()
+	if reserved := d.U8(); reserved != 0 {
+		return fmt.Errorf("%w: nonzero reserved byte", ErrFormat)
+	}
+	e.Topic = string(d.Raw(int(d.U16())))
+	e.Seq = d.U64()
+	count := int(d.U32())
+	if d.Err() != nil {
+		// The CRC validated, so the bytes arrived intact: a header field
+		// overrunning the message is an encoder bug, not truncation.
+		return fmt.Errorf("%w: header fields overrun envelope", ErrFormat)
+	}
+	e.Records = e.Records[:0]
+	e.Alerts = e.Alerts[:0]
+	var bodySize int
+	switch e.Kind {
+	case KindRecords:
+		bodySize = firewall.RecordWireSize
+	case KindAlerts:
+		bodySize = alertWireSize
+	case KindEOS:
+		if count != 0 || d.Len() != 0 {
+			return fmt.Errorf("%w: payload on an EOS envelope", ErrFormat)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown envelope kind %d", ErrFormat, e.Kind)
+	}
+	// Compare via division so a huge count cannot overflow a multiply.
+	switch {
+	case count > d.Len()/bodySize:
+		return fmt.Errorf("%w: payload holds %d of %d bodies", ErrTruncated,
+			d.Len()/bodySize, count)
+	case d.Len() > count*bodySize:
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrFormat,
+			d.Len()-count*bodySize)
+	}
+	switch e.Kind {
+	case KindRecords:
+		for i := 0; i < count; i++ {
+			var r firewall.Record
+			if err := r.DecodeBinary(d.Raw(firewall.RecordWireSize)); err != nil {
+				return fmt.Errorf("%w: record %d: %v", ErrFormat, i, err)
+			}
+			e.Records = append(e.Records, r)
+		}
+	case KindAlerts:
+		for i := 0; i < count; i++ {
+			a, err := decodeAlert(d)
+			if err != nil {
+				return fmt.Errorf("alert %d: %w", i, err)
+			}
+			e.Alerts = append(e.Alerts, a)
+		}
+	}
+	return nil
+}
+
+// decodeAlert decodes one alert body.
+func decodeAlert(d *checkpoint.Dec) (ids.Alert, error) {
+	var a ids.Alert
+	var addr [16]byte
+	copy(addr[:], d.Raw(16))
+	bits := d.U8()
+	a.Level = netaddr6.AggLevel(d.U8())
+	a.EstimatedDsts = d.U64()
+	a.Packets = d.U64()
+	a.First = d.Time()
+	a.Last = d.Time()
+	esc := d.U8()
+	if err := d.Err(); err != nil {
+		return a, err
+	}
+	if bits > 128 {
+		return a, fmt.Errorf("%w: prefix length %d", ErrFormat, bits)
+	}
+	if esc > 1 {
+		return a, fmt.Errorf("%w: escalated flag %d", ErrFormat, esc)
+	}
+	a.Prefix = netip.PrefixFrom(netip.AddrFrom16(addr), int(bits))
+	a.Escalated = esc == 1
+	return a, nil
+}
+
+// RecordTopic names one record-stream partition of a publisher: the
+// topic records whose coarsest-level source prefix hashes to part land
+// on. stream identifies the publisher (a collector name); part is the
+// dispatch.Partition index.
+func RecordTopic(stream string, part int) string {
+	return fmt.Sprintf("rec.%s.%d", stream, part)
+}
+
+// RecordTopics names all parts partitions of stream, in partition
+// order — the topic list a publisher registers and a subscriber
+// merges.
+func RecordTopics(stream string, parts int) []string {
+	if parts < 1 {
+		parts = 1
+	}
+	topics := make([]string, parts)
+	for i := range topics {
+		topics[i] = RecordTopic(stream, i)
+	}
+	return topics
+}
+
+// AlertTopic names the finished-alert topic of stream — the channel an
+// aggregator publishes its output on.
+func AlertTopic(stream string) string {
+	return "alert." + stream
+}

@@ -1,0 +1,269 @@
+package events
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"v6scan/internal/firewall"
+	"v6scan/internal/ids"
+	"v6scan/internal/layers"
+	"v6scan/internal/netaddr6"
+)
+
+func testRecords(n int) []firewall.Record {
+	ts := time.Date(2021, 4, 1, 12, 0, 0, 0, time.UTC)
+	recs := make([]firewall.Record, 0, n)
+	for i := 0; i < n; i++ {
+		p48 := netaddr6.NthSubprefix(netaddr6.MustPrefix("2001:db8::/36"), 48, uint64(i%7))
+		recs = append(recs, firewall.Record{
+			Time:    ts.Add(time.Duration(i) * time.Second),
+			Src:     netaddr6.WithIID(p48.Addr(), uint64(i+1)),
+			Dst:     netaddr6.MustAddr("2001:db8:f::1"),
+			Proto:   layers.ProtoTCP,
+			SrcPort: uint16(40000 + i),
+			DstPort: uint16(22 + i%3),
+			Length:  uint16(60 + i),
+		})
+	}
+	return recs
+}
+
+func testAlerts() []ids.Alert {
+	ts := time.Date(2021, 4, 2, 8, 30, 0, 0, time.UTC)
+	return []ids.Alert{
+		{
+			Prefix:        netaddr6.MustPrefix("2001:db8:1::/48"),
+			Level:         netaddr6.Agg48,
+			EstimatedDsts: 1234,
+			Packets:       99,
+			First:         ts,
+			Last:          ts.Add(time.Hour),
+			Escalated:     true,
+		},
+		{
+			Prefix:        netip.PrefixFrom(netaddr6.MustAddr("2001:db8:2:3:4:5:6:7"), 128),
+			Level:         netaddr6.Agg128,
+			EstimatedDsts: 1,
+			Packets:       10,
+			// Zero times exercise the sentinel path of the time codec.
+			First: time.Time{},
+			Last:  time.Time{},
+		},
+	}
+}
+
+// reCRC recomputes and patches the trailing checksum so tests can
+// corrupt individual header fields without tripping ErrChecksum.
+func reCRC(b []byte) []byte {
+	sum := crc32.Checksum(b[:len(b)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(b[len(b)-4:], sum)
+	return b
+}
+
+func encode(t *testing.T, e Envelope) []byte {
+	t.Helper()
+	b, err := e.Append(nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return b
+}
+
+func TestRecordsRoundtrip(t *testing.T) {
+	in := Envelope{
+		Kind:    KindRecords,
+		Topic:   "rec.pub0.3",
+		Seq:     42,
+		Records: testRecords(5),
+	}
+	b := encode(t, in)
+	var out Envelope
+	if err := out.Decode(b); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Kind != in.Kind || out.Topic != in.Topic || out.Seq != in.Seq {
+		t.Fatalf("header mismatch: got %+v", out)
+	}
+	if len(out.Alerts) != 0 {
+		t.Fatalf("alerts on a records envelope: %v", out.Alerts)
+	}
+	if !reflect.DeepEqual(normTimes(out.Records), normTimes(in.Records)) {
+		t.Fatalf("records mismatch:\n got %v\nwant %v", out.Records, in.Records)
+	}
+	// Canonical: re-encoding the decoded envelope reproduces the bytes.
+	b2 := encode(t, out)
+	if string(b2) != string(b) {
+		t.Fatal("re-encoded envelope differs from input bytes")
+	}
+}
+
+// normTimes maps record times to UnixNano so DeepEqual ignores the
+// wall-clock location the codec does not carry.
+func normTimes(recs []firewall.Record) []firewall.Record {
+	out := make([]firewall.Record, len(recs))
+	for i, r := range recs {
+		r.Time = time.Unix(0, r.Time.UnixNano()).UTC()
+		out[i] = r
+	}
+	return out
+}
+
+func TestAlertsRoundtrip(t *testing.T) {
+	in := Envelope{Kind: KindAlerts, Topic: "alert.agg", Seq: 7, Alerts: testAlerts()}
+	b := encode(t, in)
+	var out Envelope
+	if err := out.Decode(b); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Kind != KindAlerts || out.Topic != in.Topic || out.Seq != in.Seq {
+		t.Fatalf("header mismatch: got %+v", out)
+	}
+	if len(out.Alerts) != len(in.Alerts) {
+		t.Fatalf("got %d alerts, want %d", len(out.Alerts), len(in.Alerts))
+	}
+	for i := range in.Alerts {
+		want, got := in.Alerts[i], out.Alerts[i]
+		if got.Prefix != want.Prefix || got.Level != want.Level ||
+			got.EstimatedDsts != want.EstimatedDsts || got.Packets != want.Packets ||
+			got.Escalated != want.Escalated ||
+			!got.First.Equal(want.First) || !got.Last.Equal(want.Last) {
+			t.Errorf("alert %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if b2 := encode(t, out); string(b2) != string(b) {
+		t.Fatal("re-encoded envelope differs from input bytes")
+	}
+}
+
+func TestEOSRoundtrip(t *testing.T) {
+	in := Envelope{Kind: KindEOS, Topic: "rec.pub1.0", Seq: 9}
+	b := encode(t, in)
+	// Reused envelope: stale Records/Alerts must be cleared by Decode.
+	out := Envelope{Records: testRecords(2), Alerts: testAlerts()}
+	if err := out.Decode(b); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Kind != KindEOS || out.Topic != in.Topic || out.Seq != in.Seq {
+		t.Fatalf("header mismatch: got %+v", out)
+	}
+	if len(out.Records) != 0 || len(out.Alerts) != 0 {
+		t.Fatal("EOS decode left stale payload slices populated")
+	}
+}
+
+func TestEmptyRecordsEnvelope(t *testing.T) {
+	b := encode(t, Envelope{Kind: KindRecords, Topic: "t", Seq: 0})
+	var out Envelope
+	if err := out.Decode(b); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(out.Records) != 0 {
+		t.Fatalf("got %d records, want 0", len(out.Records))
+	}
+}
+
+func TestAppendRejectsMismatchedPayload(t *testing.T) {
+	cases := []Envelope{
+		{Kind: KindRecords, Alerts: testAlerts()},
+		{Kind: KindAlerts, Records: testRecords(1)},
+		{Kind: KindEOS, Records: testRecords(1)},
+		{Kind: 0},
+		{Kind: 99},
+	}
+	for i, e := range cases {
+		if _, err := e.Append(nil); !errors.Is(err, ErrFormat) {
+			t.Errorf("case %d: got %v, want ErrFormat", i, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := encode(t, Envelope{Kind: KindRecords, Topic: "tp", Seq: 1, Records: testRecords(3)})
+
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return mutate(b)
+	}
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short magic", valid[:5], ErrTruncated},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), ErrBadMagic},
+		{"below min size", valid[:10], ErrTruncated},
+		{"flipped payload bit", corrupt(func(b []byte) []byte { b[len(b)/2] ^= 1; return b }), ErrChecksum},
+		{"future version", corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[8:], 2)
+			return reCRC(b)
+		}), ErrVersion},
+		{"reserved set", corrupt(func(b []byte) []byte { b[11] = 1; return reCRC(b) }), ErrFormat},
+		{"unknown kind", corrupt(func(b []byte) []byte { b[10] = 9; return reCRC(b) }), ErrFormat},
+		{"topic overruns envelope", corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[12:], 0xFFFF)
+			return reCRC(b)
+		}), ErrFormat},
+		{"count beyond payload", corrupt(func(b []byte) []byte {
+			// count sits after topic ("tp", 2 bytes) and seq.
+			binary.LittleEndian.PutUint32(b[headerSize+2+8:], 1<<30)
+			return reCRC(b)
+		}), ErrTruncated},
+		{"trailing payload bytes", corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[headerSize+2+8:], 2)
+			return reCRC(b)
+		}), ErrFormat},
+		{"payload on EOS", corrupt(func(b []byte) []byte {
+			b[10] = KindEOS
+			binary.LittleEndian.PutUint32(b[headerSize+2+8:], 0)
+			return reCRC(b)
+		}), ErrFormat},
+	}
+	for _, tc := range cases {
+		var e Envelope
+		if err := e.Decode(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsBadAlertFields(t *testing.T) {
+	base := encode(t, Envelope{Kind: KindAlerts, Topic: "a", Seq: 0, Alerts: testAlerts()[:1]})
+	payload := headerSize + 1 + 8 + 4 // after topic "a", seq, count
+
+	bits := append([]byte(nil), base...)
+	bits[payload+16] = 129
+	var e Envelope
+	if err := e.Decode(reCRC(bits)); !errors.Is(err, ErrFormat) {
+		t.Errorf("prefix bits 129: got %v, want ErrFormat", err)
+	}
+
+	esc := append([]byte(nil), base...)
+	esc[payload+alertWireSize-1] = 2
+	if err := e.Decode(reCRC(esc)); !errors.Is(err, ErrFormat) {
+		t.Errorf("escalated flag 2: got %v, want ErrFormat", err)
+	}
+}
+
+func TestTopicHelpers(t *testing.T) {
+	if got := RecordTopic("edge1", 3); got != "rec.edge1.3" {
+		t.Errorf("RecordTopic: got %q", got)
+	}
+	if got := RecordTopics("edge1", 3); !reflect.DeepEqual(got, []string{
+		"rec.edge1.0", "rec.edge1.1", "rec.edge1.2",
+	}) {
+		t.Errorf("RecordTopics: got %v", got)
+	}
+	if got := RecordTopics("edge1", 0); len(got) != 1 {
+		t.Errorf("RecordTopics(0): got %v, want one topic", got)
+	}
+	if got := AlertTopic("agg"); got != "alert.agg" {
+		t.Errorf("AlertTopic: got %q", got)
+	}
+}

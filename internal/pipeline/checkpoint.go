@@ -163,7 +163,7 @@ func WriteCheckpoint(dir string, ck Checkpointer, mark time.Time) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("pipeline: creating checkpoint dir: %w", err)
 	}
-	f, err := os.CreateTemp(dir, ".ckpt-*")
+	f, err := os.CreateTemp(dir, checkpointTempPattern)
 	if err != nil {
 		return fmt.Errorf("pipeline: creating checkpoint: %w", err)
 	}
@@ -188,6 +188,46 @@ func WriteCheckpoint(dir string, ck Checkpointer, mark time.Time) error {
 		return fmt.Errorf("pipeline: publishing checkpoint: %w", err)
 	}
 	return nil
+}
+
+// checkpointTempPattern is the os.CreateTemp pattern WriteCheckpoint
+// stages bytes under; checkpointTempPrefix selects the files it
+// produces. The prefix deliberately cannot collide with a published
+// checkpoint name (those have all-digit stems), so checkpointMark
+// never selects a temp file — but a crashed writer leaves its temp
+// behind forever, which is what SweepCheckpointTemps cleans up.
+const (
+	checkpointTempPattern = ".ckpt-*"
+	checkpointTempPrefix  = ".ckpt-"
+)
+
+// SweepCheckpointTemps removes leftover checkpoint temp files from
+// interrupted WriteCheckpoint calls — a crash between CreateTemp and
+// the rename strands the partially-written temp, and nothing else ever
+// collects it. Call it when resuming from a checkpoint directory
+// (cmd/v6scan and the serve daemon do); it is safe alongside a live
+// writer only in the sense that it may race a write in progress, so
+// sweep before starting the pipeline, not during. Returns the number
+// of temp files removed. A missing directory sweeps zero files.
+func SweepCheckpointTemps(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	removed := 0
+	for _, e := range entries {
+		if !e.Type().IsRegular() || !strings.HasPrefix(e.Name(), checkpointTempPrefix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("pipeline: sweeping checkpoint temp: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
 }
 
 // checkpointMark parses the mark out of a checkpoint file name.

@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -631,5 +632,82 @@ func TestLatestCheckpointDirtyDir(t *testing.T) {
 	}
 	if want := filepath.Join(dir, "042.ckpt"); path != want {
 		t.Fatalf("tie-break: LatestCheckpoint = %q, want %q", path, want)
+	}
+}
+
+// TestSweepCheckpointTemps: a crash between CreateTemp and the rename
+// strands a partial ".ckpt-*" staging file. A resume sweeps those —
+// and only those — before scanning for the latest checkpoint, so
+// crashed writes neither accumulate nor ever shadow a real snapshot.
+func TestSweepCheckpointTemps(t *testing.T) {
+	dir := t.TempDir()
+
+	// A real checkpoint, published atomically.
+	sink := NewDetectorSink(core.NewDetector(streamParityConfig()))
+	recs := ckptRecords(500)
+	for _, r := range recs {
+		if err := sink.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark := recs[len(recs)-1].Time
+	if err := WriteCheckpoint(dir, sink, mark); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashed writes: partial staging temps exactly as os.CreateTemp
+	// would leave them, including an empty one.
+	for _, name := range []string{".ckpt-1834719382", ".ckpt-99", ".ckpt-"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial snapshot bytes"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".ckpt-empty"), nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Bystanders the sweep must not touch.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, ".ckpt-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := SweepCheckpointTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 4 {
+		t.Fatalf("swept %d temps, want 4", removed)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	want := []string{".ckpt-dir", fmt.Sprintf("%020d.ckpt", mark.UnixNano()), "notes.txt"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("after sweep: %v, want %v", names, want)
+	}
+
+	// The surviving checkpoint still resumes.
+	path, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, fmt.Sprintf("%020d.ckpt", mark.UnixNano())); path != want {
+		t.Fatalf("LatestCheckpoint = %q, want %q", path, want)
+	}
+
+	// Idempotent, and a missing directory is not an error.
+	if n, err := SweepCheckpointTemps(dir); err != nil || n != 0 {
+		t.Fatalf("second sweep: (%d, %v), want (0, nil)", n, err)
+	}
+	if n, err := SweepCheckpointTemps(filepath.Join(dir, "missing")); err != nil || n != 0 {
+		t.Fatalf("missing dir: (%d, %v), want (0, nil)", n, err)
 	}
 }

@@ -64,6 +64,7 @@ func (s *FilesSource) EmitBatch(batchSize int, emit func(recs []firewall.Record)
 		}
 	}()
 	srcs := make([]Source, 0, len(s.paths))
+	infos := make([]os.FileInfo, 0, len(s.paths))
 	for _, p := range s.paths {
 		f, err := os.Open(p)
 		if err != nil {
@@ -74,6 +75,16 @@ func (s *FilesSource) EmitBatch(batchSize int, emit func(recs []firewall.Record)
 		if err != nil {
 			return fmt.Errorf("pipeline: sizing log %s: %w", p, err)
 		}
+		// The same file listed twice — same path, a symlink, a hardlink —
+		// would silently double its records in the merged stream, so the
+		// opened handles' identities must be pairwise distinct.
+		for j, prev := range infos {
+			if os.SameFile(prev, fi) {
+				return fmt.Errorf("pipeline: duplicate input: %q and %q are the same file",
+					s.paths[j], p)
+			}
+		}
+		infos = append(infos, fi)
 		srcs = append(srcs, NewParallelLogSource(f, fi.Size(), perFile))
 	}
 	if len(srcs) == 1 {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -298,5 +299,61 @@ func TestFromFilesMissing(t *testing.T) {
 		Detect(context.Background(), streamParityConfig(), 1)
 	if err == nil || !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("err = %v, want wrapped os.ErrNotExist", err)
+	}
+}
+
+// TestFromFilesDuplicateInput: the same log reached twice — repeated
+// path, symlink, or hardlink — would silently double every record in
+// the merged stream, so the run must refuse with a diagnostic naming
+// both paths.
+func TestFromFilesDuplicateInput(t *testing.T) {
+	dir := t.TempDir()
+	real := filepath.Join(dir, "day.log")
+	if err := os.WriteFile(real, encodeLog(t, streamParityRecords(100, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "other.log")
+	if err := os.WriteFile(other, encodeLog(t, streamParityRecords(50, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	aliases := map[string]func() (string, error){
+		"repeated path": func() (string, error) { return real, nil },
+		"symlink": func() (string, error) {
+			link := filepath.Join(dir, "day-symlink.log")
+			return link, os.Symlink(real, link)
+		},
+		"hardlink": func() (string, error) {
+			link := filepath.Join(dir, "day-hardlink.log")
+			return link, os.Link(real, link)
+		},
+	}
+	for name, mk := range aliases {
+		alias, err := mk()
+		if err != nil {
+			t.Skipf("%s: %v", name, err) // filesystem without link support
+		}
+		_, err = FromFiles(real, other, alias).
+			Detect(context.Background(), streamParityConfig(), 1)
+		if err == nil || !strings.Contains(err.Error(), "duplicate input") {
+			t.Errorf("%s: err = %v, want duplicate-input diagnostic", name, err)
+		}
+		if err != nil && !(strings.Contains(err.Error(), real) || strings.Contains(err.Error(), alias)) {
+			t.Errorf("%s: diagnostic %q names neither path", name, err)
+		}
+	}
+
+	// Distinct files with identical content are not duplicates.
+	copyPath := filepath.Join(dir, "copy.log")
+	b, err := os.ReadFile(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(copyPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFiles(real, copyPath).
+		Detect(context.Background(), streamParityConfig(), 1); err != nil {
+		t.Errorf("independent copy rejected: %v", err)
 	}
 }

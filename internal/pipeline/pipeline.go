@@ -203,6 +203,62 @@
 // client has a bounded buffer, a slow client's overflow drops alerts
 // for that client only (counted per client and globally), and a
 // bounded in-memory ring serves pagination and reconnect backlog.
+//
+// # Wire layer
+//
+// PublishSink and SubscribeSource split one logical pipeline across
+// processes: N vantage-point collectors each terminate their local
+// pipeline in a PublishSink (Builder.PublishInto), and one aggregator
+// consumes every published topic with FromBus. Records travel as
+// events.Envelope messages (a CRC-guarded, versioned frame of
+// record-wire bodies) over an internal/bus broker — in-memory here,
+// but the endpoints assume only the broker contract: per-topic FIFO
+// delivery, bounded subscriber buffers, blocking backpressure.
+//
+// The topic scheme is the sharding invariant made routable. A
+// publisher partitions its stream across its topics by the source
+// address aggregated to the COARSEST configured detection level
+// (dispatch.Partition at dispatch.CoarsestLevel), so every record of
+// one coarsest-level prefix — and therefore all detector/IDS state
+// that prefix can ever touch, at every level — flows through exactly
+// one topic. Cross-topic order is then immaterial to detection output,
+// which is what makes the distributed run byte-identical to the
+// in-process one (TestBusDetectParity, TestBusIDSParity, and the
+// -publish goldens pin this at shard counts 1, 2, and 8).
+//
+// Ordering and delivery guarantees, endpoint by endpoint:
+//
+//   - Within a topic: envelopes carry consecutive sequence numbers
+//     from 0; SubscribeSource verifies the sequence is gapless
+//     (ErrEnvelopeGap otherwise) and records within and across a
+//     topic's envelopes arrive in publish order.
+//   - Across topics: FromBus merges the per-topic streams in
+//     timestamp order (MergeSource), ties breaking to the
+//     earlier-listed topic. List lower-indexed publishers' topics
+//     first and records tying on a chunk-boundary timestamp reproduce
+//     concatenation order.
+//   - End of stream: Flush (owned by RunInto) publishes each topic's
+//     staged remainder, then exactly one EOS envelope per topic, all
+//     idempotently; a subscriber ends cleanly at EOS.
+//   - Batch ownership: both endpoints obey the pooled-batch rule —
+//     the publisher copies records into per-topic staging buffers
+//     during ConsumeBatch (and the bus copies the encoded envelope),
+//     the subscriber decodes into its own pooled batch and loans it
+//     downstream per the standard rule.
+//
+// Liveness is the one place the wire layer is weaker than an
+// in-process chain. A merging subscriber refuses to advance past a
+// silent topic (that is what makes the merge correct), while each
+// subscription buffers at most its depth: a publisher routing a long
+// run to one topic while another stays silent can fill the first
+// topic's buffer and block. PublishSink bounds the skew — every
+// non-empty stage is published at each ConsumeBatch, so a topic lags
+// the stream by at most one batch — and bus.DefaultDepth (64
+// envelopes) absorbs that comfortably for any publisher whose batches
+// interleave topics. A deployment with pathologically skewed routing
+// (one topic silent for more than depth× the batch size while another
+// streams) must raise the subscription depth, add publishers, or
+// reduce per-publisher topics.
 package pipeline
 
 import (

@@ -129,6 +129,16 @@ func (t *TailSource) EmitBatch(batchSize int, emit func(recs []firewall.Record) 
 	}
 }
 
+// tailRaceHook and tailReopenHook are test seams: when non-nil they
+// run between a drain pass and the rotation check, and between a
+// rotation reopen and its re-stat, respectively — the two windows a
+// concurrent writer can rotate in. Tests use them to force the
+// drain/rotate races deterministically; production never sets them.
+var (
+	tailRaceHook   func()
+	tailReopenHook func()
+)
+
 // drain consumes everything currently visible: whole records in the
 // open handle, then — if the path has rotated to a new file — the new
 // file from the start, repeating until no step makes progress.
@@ -139,7 +149,10 @@ func (t *TailSource) drain(batchSize int, batch *[]firewall.Record,
 		if err != nil {
 			return err
 		}
-		rotated, err := t.checkRotate()
+		if tailRaceHook != nil {
+			tailRaceHook()
+		}
+		rotated, err := t.checkRotate(batchSize, batch, emit)
 		if err != nil {
 			return err
 		}
@@ -224,12 +237,26 @@ func (t *TailSource) open() bool {
 }
 
 // checkRotate detects the path pointing at a different file than the
-// open handle (logrotate's rename-and-recreate). The old handle has
-// already been drained by the caller, so it is safe to jump to the new
-// file; records appended to the old file after its last drain are
-// lost, which is why the rotation rule (package doc, "Serving")
-// requires writers to stop appending to a log before rotating it.
-func (t *TailSource) checkRotate() (bool, error) {
+// open handle (logrotate's rename-and-recreate) and swaps to the new
+// file. Two races with a concurrent rotation are handled here:
+//
+//   - The writer may have appended to the old file after the caller's
+//     last drain but before renaming it, so the old handle gets one
+//     final drain before it is closed — the writer stopped touching the
+//     file at the rename, which makes that drain complete. Without it,
+//     the old generation's tail would be silently skipped.
+//   - A second rotation can land between the path stat and the reopen,
+//     making the handle just opened itself an old generation. After
+//     every reopen the path is re-stat'ed, and the drain-close-reopen
+//     step loops until the handle and the path agree — every
+//     generation this tail ever holds is drained before being dropped.
+//
+// Only a generation renamed away before the tail ever opens it can
+// still be missed, which is why the rotation rule (package doc,
+// "Serving") requires rotation intervals long enough for a tail to
+// observe each generation.
+func (t *TailSource) checkRotate(batchSize int, batch *[]firewall.Record,
+	emit func(recs []firewall.Record) error) (bool, error) {
 	if t.f == nil {
 		return false, nil
 	}
@@ -239,11 +266,29 @@ func (t *TailSource) checkRotate() (bool, error) {
 		// old handle; a future poll sees the recreated file.
 		return false, nil
 	}
-	if os.SameFile(t.info, st) {
-		return false, nil
+	rotated := false
+	for !os.SameFile(t.info, st) {
+		// Final drain of the outgoing handle: the writer's last appends
+		// landed before the rename, so they are visible now.
+		if _, err := t.drainHandle(batchSize, batch, emit); err != nil {
+			return rotated, err
+		}
+		t.f.Close()
+		t.f = nil
+		t.stats.Rotations++
+		rotated = true
+		if !t.open() {
+			// The path vanished again between stat and open; the caller's
+			// drain loop (and the next poll) retries from scratch.
+			return rotated, nil
+		}
+		if tailReopenHook != nil {
+			tailReopenHook()
+		}
+		st, err = os.Stat(t.path)
+		if err != nil {
+			return rotated, nil
+		}
 	}
-	t.f.Close()
-	t.f = nil
-	t.stats.Rotations++
-	return t.open(), nil
+	return rotated, nil
 }

@@ -306,3 +306,107 @@ func (s *atomicCountSink) ConsumeBatch(recs []firewall.Record) error {
 	return nil
 }
 func (s *atomicCountSink) Flush() error { return nil }
+
+// encodeTailRecords renders records to their on-disk bytes for the
+// rotation-race hooks, which run on the tail goroutine and therefore
+// cannot use the *testing.T helpers (Fatal must stay on the test
+// goroutine). Failures panic — loud enough for a test.
+func encodeTailRecords(recs []firewall.Record) []byte {
+	var b []byte
+	for _, r := range recs {
+		b = r.AppendBinary(b)
+	}
+	return b
+}
+
+func mustAppendFile(path string, b []byte) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+}
+
+// TestTailRotationRaces forces, deterministically, the two windows a
+// concurrent logrotate can slip through:
+//
+//  1. The writer appends to the old generation after the tail's last
+//     drain of it, then renames it — those appends are only visible to
+//     the already-open handle, so checkRotate must drain it once more
+//     before closing (the old code closed immediately and lost them).
+//  2. A second rotation lands right after the reopen, making the fresh
+//     handle itself an old generation — checkRotate must re-stat and
+//     loop until handle and path agree.
+//
+// The tail must deliver every record of all three generations, in
+// order.
+func TestTailRotationRaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fw.log")
+
+	genA := tailRecords(0, 300)
+	lateA := tailRecords(300, 100) // appended to A inside window 1
+	genB := tailRecords(400, 200)
+	genC := tailRecords(600, 150)
+
+	appendRecords(t, path, genA)
+
+	const drainedA = int64(300 * firewall.RecordWireSize)
+	var raced, reraced bool
+	tailRaceHook = func() {
+		// Fires between a drain pass and the rotation check. Act exactly
+		// once, after the initial generation is fully consumed: append
+		// the old generation's tail, rotate it away, and start B.
+		if raced {
+			return
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() != drainedA {
+			return
+		}
+		raced = true
+		mustAppendFile(path, encodeTailRecords(lateA))
+		if err := os.Rename(path, filepath.Join(dir, "fw.log.1")); err != nil {
+			panic(err)
+		}
+		mustAppendFile(path, encodeTailRecords(genB))
+	}
+	tailReopenHook = func() {
+		// Fires between a rotation reopen and its re-stat: the first
+		// firing rotates again, so the handle just opened (B) is already
+		// stale.
+		if reraced {
+			return
+		}
+		reraced = true
+		if err := os.Rename(path, filepath.Join(dir, "fw.log.2")); err != nil {
+			panic(err)
+		}
+		mustAppendFile(path, encodeTailRecords(genC))
+	}
+	defer func() { tailRaceHook, tailReopenHook = nil, nil }()
+
+	tr := startTail(path)
+	tr.waitCount(t, 750)
+	got := tr.stop(t)
+
+	want := tailRecords(0, 750)
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs across the forced rotations", i)
+		}
+	}
+	if st := tr.src.Stats(); st.Rotations != 2 {
+		t.Fatalf("Rotations = %d, want 2", st.Rotations)
+	}
+	if !raced || !reraced {
+		t.Fatal("race hooks never fired")
+	}
+}

@@ -334,6 +334,11 @@ func (d *Daemon) newPump(carry *handoff) (*pump, time.Time, error) {
 		p.lastAdvance, p.lastCkpt = carry.marks.Advance, carry.marks.Checkpoint
 		return p, mark.Add(-time.Nanosecond), nil
 	case d.cfg.Resume:
+		// Clear out temp files stranded by a crashed writer before
+		// scanning the directory for the newest snapshot.
+		if _, err := pipeline.SweepCheckpointTemps(d.cfg.CheckpointDir); err != nil {
+			return nil, time.Time{}, err
+		}
 		path, err := pipeline.LatestCheckpoint(d.cfg.CheckpointDir)
 		if err != nil {
 			return nil, time.Time{}, err

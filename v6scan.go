@@ -131,14 +131,18 @@
 package v6scan
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"v6scan/internal/analysis"
 	"v6scan/internal/artifacts"
 	"v6scan/internal/asdb"
+	"v6scan/internal/bus"
 	"v6scan/internal/checkpoint"
 	"v6scan/internal/core"
+	"v6scan/internal/dispatch"
+	"v6scan/internal/events"
 	"v6scan/internal/firewall"
 	"v6scan/internal/ids"
 	"v6scan/internal/mawi"
@@ -466,6 +470,98 @@ func ResumeCheckpoint(path string, shards int) (*ResumedSink, error) {
 func WriteCheckpoint(dir string, ck Checkpointer, mark time.Time) error {
 	return pipeline.WriteCheckpoint(dir, ck, mark)
 }
+
+// SweepCheckpointTemps removes temp files stranded in a checkpoint
+// directory by a crashed writer. Call it before resuming from dir.
+func SweepCheckpointTemps(dir string) (int, error) {
+	return pipeline.SweepCheckpointTemps(dir)
+}
+
+// Wire-layer facade: distributed pipeline endpoints — publishers
+// shipping topic-partitioned event envelopes over a broker, and
+// subscribers replaying them into a pipeline with byte-identical
+// output (see the pipeline package doc's "Wire layer" section).
+type (
+	// Bus is the hermetic in-memory broker: bounded pull-based
+	// subscriptions with blocking publisher backpressure.
+	Bus = bus.Bus
+	// BusSubscription is one bounded pull endpoint on a Bus.
+	BusSubscription = bus.Subscription
+	// BusMsg is one delivered broker message.
+	BusMsg = bus.Msg
+	// BusStats is a point-in-time copy of a Bus's counters.
+	BusStats = bus.Stats
+	// EventEnvelope is the versioned wire envelope framing a run of
+	// records (or alerts) for one topic.
+	EventEnvelope = events.Envelope
+	// PublishSinkT is the terminal sink publishing a pipeline's record
+	// stream onto a Bus, partitioned across topics by coarsest-level
+	// source prefix.
+	PublishSinkT = pipeline.PublishSink
+	// SubscribeSourceT replays one topic's envelopes into a pipeline.
+	SubscribeSourceT = pipeline.SubscribeSource
+)
+
+// Envelope kinds carried in EventEnvelope.Kind.
+const (
+	EventKindRecords = events.KindRecords
+	EventKindAlerts  = events.KindAlerts
+	EventKindEOS     = events.KindEOS
+)
+
+// NewBus returns an empty in-memory broker.
+func NewBus() *Bus { return bus.New() }
+
+// NewPublishSink returns a terminal sink publishing onto b across
+// topics, partitioned by the source prefix at level (normally
+// CoarsestLevel of the detector/IDS aggregation levels).
+func NewPublishSink(ctx context.Context, b *Bus, level AggLevel, topics ...string) *PublishSinkT {
+	return pipeline.NewPublishSink(ctx, b, level, topics...)
+}
+
+// NewSubscribeSource subscribes to topic on b and returns a source
+// replaying its envelopes.
+func NewSubscribeSource(ctx context.Context, b *Bus, topic string) *SubscribeSourceT {
+	return pipeline.NewSubscribeSource(ctx, b, topic)
+}
+
+// FromBus starts a builder consuming the given topics from b, k-way
+// merged in timestamp order. List lower-indexed publishers' topics
+// first: topic order is the merge tie-break order.
+func FromBus(b *Bus, topics ...string) *Builder { return pipeline.FromBus(b, topics...) }
+
+// FromBusContext is FromBus with a context bounding the blocking
+// pulls.
+func FromBusContext(ctx context.Context, b *Bus, topics ...string) *Builder {
+	return pipeline.FromBusContext(ctx, b, topics...)
+}
+
+// RecordTopic names one record-stream partition of a publisher's
+// stream; RecordTopics names all parts of them, in partition order.
+func RecordTopic(stream string, part int) string { return events.RecordTopic(stream, part) }
+
+// RecordTopics names all parts partitions of a publisher's stream.
+func RecordTopics(stream string, parts int) []string { return events.RecordTopics(stream, parts) }
+
+// AlertTopic names the finished-alert topic of a stream.
+func AlertTopic(stream string) string { return events.AlertTopic(stream) }
+
+// CoarsestLevel returns the coarsest (smallest prefix length) of the
+// given aggregation levels — the partition level distributed
+// publishers and sharded consumers route by.
+func CoarsestLevel(levels []AggLevel) AggLevel { return dispatch.CoarsestLevel(levels) }
+
+// RecordWireSize is the fixed on-disk size of one binary log record —
+// the alignment unit for splitting a log at record boundaries.
+const RecordWireSize = firewall.RecordWireSize
+
+// LogChunk is one contiguous record-aligned byte span of a binary log.
+type LogChunk = firewall.Chunk
+
+// PlanLogChunks splits a binary log of size bytes into at most n
+// contiguous record-aligned chunks covering it exactly — the
+// splitting step of a distributed replay (one chunk per publisher).
+func PlanLogChunks(size int64, n int) []LogChunk { return firewall.PlanChunks(size, n) }
 
 // Simulation facade.
 type (
